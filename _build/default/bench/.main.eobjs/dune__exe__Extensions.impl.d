@@ -1,0 +1,1 @@
+bench/extensions.ml: Array Eutil Figures Lazy List Netsim Openflow Optim Option Power Printf Report Response Topo Traffic

@@ -1,0 +1,1 @@
+bench/figures.ml: Appsim Array Eutil Float Hashtbl Lazy List Netsim Optim Option Power Report Response Routing Topo Traffic

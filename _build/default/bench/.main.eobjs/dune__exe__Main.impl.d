@@ -1,0 +1,1 @@
+bench/main.ml: Array Extensions Figures Format List Micro String Sys Unix

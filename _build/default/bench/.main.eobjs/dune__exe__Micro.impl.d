@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Format Hashtbl Instance Lazy List Measure Optim Power Printf Report Response Routing Staged Test Time Toolkit Topo Traffic

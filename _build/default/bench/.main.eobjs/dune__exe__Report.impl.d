@@ -1,0 +1,1 @@
+bench/report.ml: Format Printf String Sys

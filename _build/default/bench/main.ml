@@ -1,0 +1,53 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md for the experiment index).
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- fig5    # selected sections
+     REPRO_FAST=1 dune exec bench/main.exe   # reduced traces, seconds not minutes *)
+
+let sections : (string * (unit -> unit)) list =
+  [
+    ("fig1a", Figures.fig1a);
+    ("fig1b", Figures.fig1b);
+    ("fig2a", Figures.fig2a);
+    ("fig2b", Figures.fig2b);
+    ("fig4", Figures.fig4);
+    ("fig5", Figures.fig5);
+    ("fig6", Figures.fig6);
+    ("fig7", Figures.fig7);
+    ("fig8a", Figures.fig8a);
+    ("fig8b", Figures.fig8b);
+    ("fig9", Figures.fig9);
+    ("latency", Figures.latency);
+    ("capacity", Figures.capacity);
+    ("stress", Figures.stress);
+    ("ablations", Figures.ablations);
+    ("deploy", Extensions.deploy);
+    ("peaks", Extensions.peaks);
+    ("sleep", Extensions.sleep_states);
+    ("switching", Extensions.switching);
+    ("butterfly", Extensions.butterfly);
+    ("openflow", Extensions.openflow);
+    ("eate", Extensions.eate);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst sections
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f ->
+          let s0 = Unix.gettimeofday () in
+          f ();
+          Format.printf "  [%s done in %.1f s]@." name (Unix.gettimeofday () -. s0)
+      | None ->
+          Format.printf "unknown section %S; available: %s@." name
+            (String.concat " " (List.map fst sections)))
+    requested;
+  Format.printf "@.All requested sections finished in %.1f s.@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,26 @@
+(* Small reporting helpers shared by the figure benches. *)
+
+let section title =
+  let bar = String.make 74 '=' in
+  Format.printf "@.%s@.%s@.%s@." bar title bar
+
+let subsection title = Format.printf "@.--- %s ---@." title
+
+let row fmt = Format.printf fmt
+
+let kv key value = Format.printf "  %-44s %s@." key value
+
+let kvf key fmt = Format.ksprintf (kv key) fmt
+
+(* Fast mode shrinks trace lengths so the full harness runs in seconds; the
+   default regenerates every figure at full scale. *)
+let fast = Sys.getenv_opt "REPRO_FAST" <> None
+
+let note fmt = Format.printf ("  note: " ^^ fmt ^^ "@.")
+
+let time_of_day seconds =
+  let day = int_of_float (seconds /. 86_400.0) in
+  let rem = seconds -. (float_of_int day *. 86_400.0) in
+  let h = int_of_float (rem /. 3600.0) in
+  let m = int_of_float ((rem -. (float_of_int h *. 3600.0)) /. 60.0) in
+  Printf.sprintf "day %d %02d:%02d" (day + 1) h m

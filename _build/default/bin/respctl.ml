@@ -1,0 +1,225 @@
+(* respctl — command-line front end to the REsPoNse library.
+
+   respctl topo geant
+   respctl tables geant --beta 0.25
+   respctl power geant --load 10
+   respctl replay geant --days 3
+*)
+
+open Cmdliner
+
+type named_topology = {
+  tname : string;
+  graph : Topo.Graph.t lazy_t;
+  model : [ `Cisco | `Commodity ];
+}
+
+let topologies =
+  [
+    { tname = "geant"; graph = lazy (Topo.Geant.make ()); model = `Cisco };
+    {
+      tname = "abovenet";
+      graph = lazy (Topo.Rocketfuel.make Topo.Rocketfuel.abovenet);
+      model = `Cisco;
+    };
+    {
+      tname = "genuity";
+      graph = lazy (Topo.Rocketfuel.make Topo.Rocketfuel.genuity);
+      model = `Cisco;
+    };
+    { tname = "pop-access"; graph = lazy (Topo.Pop_access.make ()); model = `Cisco };
+    {
+      tname = "fattree4";
+      graph = lazy (Topo.Fattree.make 4).Topo.Fattree.graph;
+      model = `Commodity;
+    };
+    {
+      tname = "fattree8";
+      graph = lazy (Topo.Fattree.make 8).Topo.Fattree.graph;
+      model = `Commodity;
+    };
+  ]
+
+let find_topology name =
+  match List.find_opt (fun t -> t.tname = name) topologies with
+  | Some t -> Ok t
+  | None ->
+      Error
+        (Printf.sprintf "unknown topology %S (available: %s)" name
+           (String.concat ", " (List.map (fun t -> t.tname) topologies)))
+
+let power_of t g =
+  match t.model with
+  | `Cisco -> Power.Model.cisco12000 g
+  | `Commodity -> Power.Model.commodity_dc g
+
+let topology_arg =
+  let doc = "Topology name (geant, abovenet, genuity, pop-access, fattree4, fattree8)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TOPOLOGY" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for sampled pairs.")
+
+let fraction_arg =
+  Arg.(
+    value
+    & opt float 0.7
+    & info [ "fraction" ] ~docv:"F" ~doc:"Fraction of traffic nodes used as origins/destinations.")
+
+let beta_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "beta" ] ~docv:"BETA" ~doc:"REsPoNse-lat latency bound (e.g. 0.25).")
+
+let pairs_of g ~seed ~fraction = Traffic.Gravity.random_node_pairs g ~seed ~fraction
+
+let with_topology name f =
+  match find_topology name with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok t -> f t (Lazy.force t.graph)
+
+(* ------------------------------- topo ------------------------------- *)
+
+let topo_cmd =
+  let run name =
+    with_topology name (fun t g ->
+        let power = power_of t g in
+        Format.printf "%s: %a@." t.tname Topo.Graph.pp g;
+        Format.printf "full power: %.2f kW (%s)@."
+          (Power.Model.full power g /. 1e3)
+          power.Power.Model.description;
+        let by_role = Hashtbl.create 8 in
+        Topo.Graph.fold_nodes g ~init:() ~f:(fun () n ->
+            let r = Topo.Graph.role_to_string (Topo.Graph.role g n) in
+            Hashtbl.replace by_role r (1 + Option.value (Hashtbl.find_opt by_role r) ~default:0));
+        Hashtbl.iter (fun r c -> Format.printf "  %-14s %d@." r c) by_role;
+        0)
+  in
+  let doc = "Describe a topology and its power envelope." in
+  Cmd.v (Cmd.info "topo" ~doc) Term.(const run $ topology_arg)
+
+(* ------------------------------ tables ------------------------------ *)
+
+let tables_cmd =
+  let run name seed fraction beta =
+    with_topology name (fun t g ->
+        let power = power_of t g in
+        let pairs = pairs_of g ~seed ~fraction in
+        let config = { Response.Framework.default with latency_beta = beta } in
+        let tables = Response.Framework.precompute ~config g power ~pairs in
+        Format.printf "%a@." Response.Tables.pp tables;
+        let ao = Response.Tables.always_on_state tables in
+        Format.printf "always-on footprint: %a (%.1f%% of full power)@." (Topo.State.pp g) ao
+          (Power.Model.percent_of_full power g ao);
+        let vulnerable = Response.Failover.vulnerable_pairs g tables in
+        Format.printf "pairs vulnerable to a single link failure: %d of %d@."
+          (List.length vulnerable)
+          (List.length (Response.Tables.pairs tables));
+        (match Response.Tables.entries tables with
+        | e :: _ ->
+            Format.printf "@.example entry %s -> %s:@." (Topo.Graph.name g e.Response.Tables.origin)
+              (Topo.Graph.name g e.Response.Tables.dest);
+            Array.iteri
+              (fun i p -> Format.printf "  path %d: %a@." i (Topo.Path.pp g) p)
+              (Response.Tables.paths e)
+        | [] -> ());
+        0)
+  in
+  let doc = "Precompute the always-on / on-demand / failover tables." in
+  Cmd.v (Cmd.info "tables" ~doc) Term.(const run $ topology_arg $ seed_arg $ fraction_arg $ beta_arg)
+
+(* ------------------------------- power ------------------------------ *)
+
+let power_cmd =
+  let load_arg =
+    Arg.(
+      value & opt float 5.0 & info [ "load" ] ~docv:"GBPS" ~doc:"Total offered load in Gbit/s.")
+  in
+  let run name seed fraction load =
+    with_topology name (fun t g ->
+        let power = power_of t g in
+        let pairs = pairs_of g ~seed ~fraction in
+        let tables = Response.Framework.precompute g power ~pairs in
+        let tm = Traffic.Gravity.make g ~pairs ~total:(load *. 1e9) () in
+        let e = Response.Framework.evaluate tables power tm in
+        Format.printf "offered load:     %.2f Gbit/s@." load;
+        Format.printf "network power:    %.1f%% of full (%.2f kW)@."
+          e.Response.Framework.power_percent
+          (e.Response.Framework.power_watts /. 1e3);
+        Format.printf "max utilisation:  %.2f@." e.Response.Framework.max_utilization;
+        Format.printf "on-demand levels: %d@." e.Response.Framework.levels_activated;
+        Format.printf "congested pairs:  %d@." (List.length e.Response.Framework.congested);
+        (match Optim.Minimal.power_down g power tm with
+        | Some opt ->
+            Format.printf "optimal subset:   %.1f%% of full power@." opt.Optim.Minimal.power_percent
+        | None -> Format.printf "optimal subset:   demand infeasible@.");
+        0)
+  in
+  let doc = "Evaluate the steady-state power for a gravity demand." in
+  Cmd.v (Cmd.info "power" ~doc)
+    Term.(const run $ topology_arg $ seed_arg $ fraction_arg $ load_arg)
+
+(* ------------------------------ replay ------------------------------ *)
+
+let replay_cmd =
+  let days_arg =
+    Arg.(value & opt int 3 & info [ "days" ] ~docv:"DAYS" ~doc:"Length of the synthetic trace.")
+  in
+  let run name seed fraction days =
+    with_topology name (fun t g ->
+        let power = power_of t g in
+        let pairs = pairs_of g ~seed ~fraction in
+        let trace = Traffic.Synth.geant_like g ~days ~pairs () in
+        let r = Response.Replay.run g power trace in
+        Format.printf "replayed intervals: %d, configuration changes: %d@."
+          (Array.length r.Response.Replay.intervals)
+          r.Response.Replay.recomputations;
+        Format.printf "mean optimal power: %.1f%%@." (Response.Replay.mean_power_percent r);
+        let dom = Response.Replay.config_dominance r in
+        Format.printf "distinct configurations: %d (dominant %.0f%%)@." (List.length dom)
+          (100.0 *. match dom with (_, f) :: _ -> f | [] -> 0.0);
+        Format.printf "@.energy-critical path coverage:@.";
+        List.iter
+          (fun (x, c) -> Format.printf "  top-%d paths: %.1f%%@." x c)
+          (Response.Critical_paths.coverage_curve r.Response.Replay.ranking ~max:5);
+        0)
+  in
+  let doc = "Replay a synthetic demand trace with per-interval recomputation." in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(const run $ topology_arg $ seed_arg $ fraction_arg $ days_arg)
+
+
+(* ------------------------------ export ------------------------------ *)
+
+let export_cmd =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("dot", `Dot); ("csv", `Csv); ("trace", `Trace) ]) `Dot
+      & info [ "format" ] ~docv:"FORMAT" ~doc:"Output: dot (Graphviz), csv (links), trace (synthetic demand trace CSV).")
+  in
+  let days_arg =
+    Arg.(value & opt int 1 & info [ "days" ] ~docv:"DAYS" ~doc:"Trace length for --format trace.")
+  in
+  let run name seed fraction format days =
+    with_topology name (fun _t g ->
+        (match format with
+        | `Dot -> print_string (Topo.Export.to_dot g)
+        | `Csv -> print_string (Topo.Export.to_csv g)
+        | `Trace ->
+            let pairs = pairs_of g ~seed ~fraction in
+            let trace = Traffic.Synth.geant_like g ~days ~pairs () in
+            print_string (Traffic.Trace_io.to_csv trace));
+        0)
+  in
+  let doc = "Export a topology (DOT/CSV) or a synthetic demand trace (CSV) to stdout." in
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(const run $ topology_arg $ seed_arg $ fraction_arg $ format_arg $ days_arg)
+
+let () =
+  let doc = "REsPoNse: identifying and using energy-critical paths" in
+  let info = Cmd.info "respctl" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ topo_cmd; tables_cmd; power_cmd; replay_cmd; export_cmd ]))

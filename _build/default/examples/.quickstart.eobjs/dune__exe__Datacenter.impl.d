@@ -1,0 +1,1 @@
+examples/datacenter.ml: Array Format List Netsim Power Response Topo Traffic

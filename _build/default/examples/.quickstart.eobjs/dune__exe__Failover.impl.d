@@ -1,0 +1,1 @@
+examples/failover.ml: Array Format Netsim Option Power Response Topo Traffic

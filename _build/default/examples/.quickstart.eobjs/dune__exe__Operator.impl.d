@@ -1,0 +1,1 @@
+examples/operator.ml: Array Eutil Format List Power Response Sys Topo

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Option Power Printf Response Topo Traffic

@@ -1,0 +1,1 @@
+examples/streaming.ml: Appsim Array Eutil Format Hashtbl List Netsim Option Power Response Routing Topo

@@ -1,0 +1,47 @@
+(* Datacenter scenario (the setting of the paper's Figure 4): a k=4 fat-tree
+   under sine-wave demand, comparing ECMP (everything powered) against
+   REsPoNse with localised (near) and non-localised (far) traffic.
+
+     dune exec examples/datacenter.exe *)
+
+module Sim = Netsim.Sim
+
+let simulate ft power locality =
+  let g = ft.Topo.Fattree.graph in
+  let pairs = Traffic.Sine.fattree_pairs ft locality in
+  let tables = Response.Framework.precompute g power ~pairs in
+  let period = 20.0 in
+  let events =
+    List.init 21 (fun i ->
+        let t = float_of_int i in
+        Sim.Set_demand (t, Traffic.Sine.fattree ft locality ~peak:4e8 ~period t))
+  in
+  let config =
+    {
+      Sim.default_config with
+      Sim.te = { Response.Te.default_config with util_threshold = 0.8; shift_fraction = 0.5 };
+      sample_interval = 0.5;
+      idle_timeout = 1.0;
+      wake_time = 0.1;
+    }
+  in
+  Sim.run ~config ~tables ~power ~events ~duration:20.0 ()
+
+let () =
+  let ft = Topo.Fattree.make 4 in
+  let power = Power.Model.commodity_dc ft.Topo.Fattree.graph in
+  Format.printf "k=4 fat-tree: %a@." Topo.Graph.pp ft.Topo.Fattree.graph;
+  let near = simulate ft power Traffic.Sine.Near in
+  let far = simulate ft power Traffic.Sine.Far in
+  Format.printf "@.%-8s %-10s %-18s %-18s@." "time" "ecmp [%]" "REsPoNse near [%]" "REsPoNse far [%]";
+  Array.iteri
+    (fun i sm ->
+      if i mod 4 = 0 then
+        Format.printf "%-8.1f %-10.0f %-18.1f %-18.1f@." sm.Sim.time 100.0 sm.Sim.power_percent
+          far.Sim.samples.(i).Sim.power_percent)
+    near.Sim.samples;
+  Format.printf "@.Mean power: ECMP 100%%, REsPoNse(near) %.1f%%, REsPoNse(far) %.1f%%@."
+    near.Sim.mean_power_percent far.Sim.mean_power_percent;
+  Format.printf "Delivered demand: near %.1f%%, far %.1f%%@."
+    (100.0 *. near.Sim.delivered_fraction)
+    (100.0 *. far.Sim.delivered_fraction)

@@ -1,0 +1,63 @@
+(* Operator workflow (Section 4.5): precompute energy-critical paths for an
+   ISP, check they fit real deployment constraints (MPLS tunnel budgets,
+   memory-limited routers), quantify robustness to topology changes, and
+   export the always-on footprint for inspection.
+
+     dune exec examples/operator.exe            # summary on stdout
+     dune exec examples/operator.exe -- --dot   # also writes abovenet.dot *)
+
+let () =
+  let write_dot = Array.exists (fun a -> a = "--dot") Sys.argv in
+  let g = Topo.Rocketfuel.make Topo.Rocketfuel.abovenet in
+  let power = Power.Model.cisco12000 g in
+  let nodes = Topo.Graph.traffic_nodes g in
+  let pairs =
+    Array.to_list nodes
+    |> List.concat_map (fun o ->
+           Array.to_list nodes |> List.filter_map (fun d -> if o <> d then Some (o, d) else None))
+  in
+  Format.printf "Abovenet-like ISP: %a@." Topo.Graph.pp g;
+  List.iter
+    (fun (c, n) -> Format.printf "  %2d links at %.0f Mbit/s@." n (c /. 1e6))
+    (Topo.Export.capacity_summary g);
+
+  (* 1. Precompute once. *)
+  let tables = Response.Framework.precompute g power ~pairs in
+  Format.printf "@.Installed %a@." Response.Tables.pp tables;
+
+  (* 2. Does this fit the routers we actually own? *)
+  let stats = Response.Deploy.tunnel_stats tables in
+  Format.printf "@.MPLS head-end tunnels: worst router needs %d (limit ~600) -> %s@."
+    stats.Response.Deploy.max_per_node
+    (if Response.Deploy.fits_mpls tables then "deployable" else "NOT deployable");
+
+  (* 3. What if the routers only hold two tables (Dual Topology Routing)? *)
+  let restricted = Response.Deploy.restrict tables ~max_tables:2 in
+  Format.printf "Two-table restriction: single-failure coverage %.1f%% (vs %.1f%% with all paths)@."
+    (100.0 *. Response.Deploy.single_failure_coverage restricted)
+    (100.0 *. Response.Deploy.single_failure_coverage tables);
+
+  (* 4. When would we have to recompute? Simulate maintenance failures. *)
+  let rng = Eutil.Prng.create 99 in
+  Format.printf "@.Topology-change policy (recompute when >5%% of pairs lose all paths):@.";
+  List.iter
+    (fun k ->
+      let failed = Array.to_list (Eutil.Prng.sample rng k (Topo.Graph.link_count g)) in
+      Format.printf "  %2d random links down: %.1f%% pairs covered -> %s@." k
+        (100.0 *. Response.Deploy.coverage_after_failures tables ~failed)
+        (if Response.Deploy.recompute_warranted tables ~failed then "recompute"
+         else "keep tables"))
+    [ 1; 4; 12 ];
+
+  (* 5. Export the always-on footprint for review. *)
+  let ao = Response.Tables.always_on_state tables in
+  Format.printf "@.Always-on footprint: %a (%.1f%% of full power)@." (Topo.State.pp g) ao
+    (Power.Model.percent_of_full power g ao);
+  if write_dot then begin
+    let dot = Topo.Export.to_dot ~state:ao g in
+    let oc = open_out "abovenet.dot" in
+    output_string oc dot;
+    close_out oc;
+    Format.printf "Wrote abovenet.dot (sleeping links dashed; render with `dot -Tsvg`).@."
+  end
+  else Format.printf "Re-run with --dot to export a Graphviz rendering.@."

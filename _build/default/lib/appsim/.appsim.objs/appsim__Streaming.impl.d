@@ -1,0 +1,1 @@
+lib/appsim/streaming.ml: Array Eutil List Netsim Option Response Topo Traffic

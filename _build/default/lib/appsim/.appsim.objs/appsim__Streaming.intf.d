@@ -1,0 +1,1 @@
+lib/appsim/streaming.mli: Eutil Netsim Power Response

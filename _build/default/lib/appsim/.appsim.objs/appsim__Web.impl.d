@@ -1,0 +1,1 @@
+lib/appsim/web.ml: Array Eutil List Topo

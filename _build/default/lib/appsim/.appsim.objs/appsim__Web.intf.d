@@ -1,0 +1,1 @@
+lib/appsim/web.mli: Topo

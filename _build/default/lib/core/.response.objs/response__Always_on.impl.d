@@ -1,0 +1,1 @@
+lib/core/always_on.ml: Array Hashtbl List Optim Option Power Routing Topo Traffic

@@ -1,0 +1,1 @@
+lib/core/always_on.mli: Hashtbl Power Topo Traffic

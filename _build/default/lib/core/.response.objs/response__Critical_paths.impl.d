@@ -1,0 +1,1 @@
+lib/core/critical_paths.ml: Hashtbl List Stdlib Topo Traffic

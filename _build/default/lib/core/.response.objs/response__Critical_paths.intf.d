@@ -1,0 +1,1 @@
+lib/core/critical_paths.mli: Hashtbl Topo Traffic

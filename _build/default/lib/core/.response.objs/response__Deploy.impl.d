@@ -1,0 +1,1 @@
+lib/core/deploy.ml: Array List Tables Topo

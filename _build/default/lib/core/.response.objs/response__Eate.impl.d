@@ -1,0 +1,1 @@
+lib/core/eate.ml: Array Hashtbl List Optim Option Power Topo Traffic

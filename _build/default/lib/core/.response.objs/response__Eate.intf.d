@@ -1,0 +1,1 @@
+lib/core/eate.mli: Power Topo Traffic

@@ -1,0 +1,1 @@
+lib/core/failover.ml: Array Hashtbl List Option Routing Tables Topo

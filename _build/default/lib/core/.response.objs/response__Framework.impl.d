@@ -1,0 +1,1 @@
+lib/core/framework.ml: Always_on Array Failover Hashtbl List On_demand Option Power Tables Topo Traffic

@@ -1,0 +1,1 @@
+lib/core/framework.mli: Always_on Power Tables Topo Traffic

@@ -1,0 +1,1 @@
+lib/core/on_demand.ml: Always_on Array Hashtbl List Optim Option Routing Topo Traffic

@@ -1,0 +1,1 @@
+lib/core/on_demand.mli: Always_on Hashtbl Power Topo Traffic

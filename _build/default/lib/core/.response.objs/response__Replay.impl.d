@@ -1,0 +1,1 @@
+lib/core/replay.ml: Array Critical_paths Hashtbl List Optim Option Topo Traffic

@@ -1,0 +1,1 @@
+lib/core/replay.mli: Critical_paths Power Topo Traffic

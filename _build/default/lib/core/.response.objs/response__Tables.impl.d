@@ -1,0 +1,1 @@
+lib/core/tables.ml: Array Format Hashtbl List Option Printf Topo

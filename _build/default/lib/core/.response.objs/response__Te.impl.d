@@ -1,0 +1,1 @@
+lib/core/te.ml: Array Hashtbl List Tables Topo

@@ -1,0 +1,1 @@
+lib/core/te.mli: Tables

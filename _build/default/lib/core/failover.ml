@@ -1,0 +1,26 @@
+let compute g ~protect ~pairs =
+  let table = Hashtbl.create (List.length pairs) in
+  List.iter
+    (fun (o, d) ->
+      let installed = Option.value (Hashtbl.find_opt protect (o, d)) ~default:[] in
+      match Routing.Disjoint.max_disjoint g ~protect:installed ~src:o ~dst:d () with
+      | None -> ()
+      | Some p ->
+          if not (List.exists (Topo.Path.equal p) installed) then Hashtbl.replace table (o, d) p)
+    pairs;
+  table
+
+let vulnerable_pairs g tables =
+  List.filter_map
+    (fun e ->
+      let paths = Array.to_list (Tables.paths e) in
+      (* A pair is vulnerable iff some link lies on every installed path. *)
+      match paths with
+      | [] -> None
+      | first :: rest ->
+          let common =
+            Array.to_list (Topo.Path.links g first)
+            |> List.filter (fun l -> List.for_all (fun p -> Topo.Path.uses_link g p l) rest)
+          in
+          if common <> [] then Some (e.Tables.origin, e.Tables.dest) else None)
+    (Tables.entries tables)

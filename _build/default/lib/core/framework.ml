@@ -1,0 +1,178 @@
+type variant =
+  | Solver of Traffic.Matrix.t
+  | Stress of float
+  | Ospf
+  | Heuristic of Traffic.Matrix.t
+
+type config = {
+  margin : float;
+  n_paths : int;
+  latency_beta : float option;
+  always_on_mode : Always_on.mode;
+  on_demand : variant;
+}
+
+let default =
+  {
+    margin = 1.0;
+    n_paths = 3;
+    latency_beta = None;
+    always_on_mode = Always_on.Oblivious;
+    on_demand = Stress 0.2;
+  }
+
+let precompute ?(config = default) g power ~pairs =
+  if config.n_paths < 2 then invalid_arg "Framework.precompute: n_paths >= 2";
+  let always_on =
+    Always_on.compute ~margin:config.margin ~mode:config.always_on_mode
+      ?latency_beta:config.latency_beta g power ~pairs ()
+  in
+  let rounds = max 1 (config.n_paths - 2) in
+  let variant =
+    match config.on_demand with
+    | Solver tm -> On_demand.Solver tm
+    | Stress q -> On_demand.Stress q
+    | Ospf -> On_demand.Ospf
+    | Heuristic tm -> On_demand.Heuristic tm
+  in
+  let on_demand = On_demand.compute ~margin:config.margin ~rounds g power ~always_on ~pairs variant in
+  let protect = Hashtbl.create (List.length pairs) in
+  List.iter
+    (fun od ->
+      match Hashtbl.find_opt always_on.Always_on.paths od with
+      | None -> ()
+      | Some ao ->
+          let ods = Option.value (Hashtbl.find_opt on_demand od) ~default:[] in
+          Hashtbl.replace protect od (ao :: ods))
+    pairs;
+  let failover = Failover.compute g ~protect ~pairs in
+  let entries =
+    List.filter_map
+      (fun (o, d) ->
+        match Hashtbl.find_opt always_on.Always_on.paths (o, d) with
+        | None -> None
+        | Some ao ->
+            Some
+              {
+                Tables.origin = o;
+                dest = d;
+                always_on = ao;
+                on_demand = Option.value (Hashtbl.find_opt on_demand (o, d)) ~default:[];
+                failover = Hashtbl.find_opt failover (o, d);
+              })
+      pairs
+  in
+  Tables.make g entries
+
+type evaluation = {
+  state : Topo.State.t;
+  power_watts : float;
+  power_percent : float;
+  max_utilization : float;
+  levels_activated : int;
+  congested : (int * int) list;
+}
+
+(* Max utilisation a path would reach if the demand were added on top of the
+   current loads. *)
+let path_util_with g loads p demand =
+  Array.fold_left
+    (fun acc a ->
+      let arc = Topo.Graph.arc g a in
+      max acc ((loads.(a) +. demand) /. arc.Topo.Graph.capacity))
+    0.0 p.Topo.Path.arcs
+
+let place_flows ?(threshold = 0.9) ?max_level tables tm =
+  let g = Tables.graph tables in
+  let loads = Array.make (Topo.Graph.arc_count g) 0.0 in
+  let levels = ref 0 in
+  let congested = ref [] in
+  let placed = ref [] in
+  List.iter
+    (fun (o, d, demand) ->
+      match Tables.find tables o d with
+      | None -> congested := (o, d) :: !congested
+      | Some e ->
+          let paths = Tables.paths e in
+          let limit =
+            match max_level with
+            | None -> Array.length paths
+            | Some m -> min (Array.length paths) (m + 1)
+          in
+          (* First path (in activation order) that stays under the
+             utilisation threshold; otherwise the least-loaded one. *)
+          let chosen = ref None in
+          (try
+             for i = 0 to limit - 1 do
+               if path_util_with g loads paths.(i) demand <= threshold then begin
+                 chosen := Some (i, paths.(i));
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          let i, p =
+            match !chosen with
+            | Some x -> x
+            | None ->
+                (* Spill: minimise the resulting worst utilisation. *)
+                let best = ref (0, paths.(0), path_util_with g loads paths.(0) demand) in
+                for i = 1 to limit - 1 do
+                  let u = path_util_with g loads paths.(i) demand in
+                  let _, _, bu = !best in
+                  if u < bu then best := (i, paths.(i), u)
+                done;
+                let i, p, u = !best in
+                if u > 1.0 then congested := (o, d) :: !congested;
+                (i, p)
+          in
+          levels := max !levels i;
+          Array.iter (fun a -> loads.(a) <- loads.(a) +. demand) p.Topo.Path.arcs;
+          placed := ((o, d), p) :: !placed)
+    (Traffic.Matrix.flows_desc tm);
+  (loads, !levels, List.rev !congested, !placed)
+
+let evaluate ?(threshold = 0.9) tables power tm =
+  let g = Tables.graph tables in
+  let loads, levels_activated, congested, _ = place_flows ~threshold tables tm in
+  let link_load l =
+    let a1, a2 = Topo.Graph.arcs_of_link g l in
+    loads.(a1) +. loads.(a2)
+  in
+  let state = Power.Model.state_of_loads g link_load in
+  let max_utilization =
+    Array.fold_left max 0.0
+      (Array.mapi (fun a load -> load /. (Topo.Graph.arc g a).Topo.Graph.capacity) loads)
+  in
+  {
+    state;
+    power_watts = Power.Model.total power g state;
+    power_percent = Power.Model.percent_of_full power g state;
+    max_utilization;
+    levels_activated;
+    congested;
+  }
+
+let loads ?(threshold = 0.9) tables tm =
+  let loads, _, _, _ = place_flows ~threshold tables tm in
+  loads
+
+let carried_fraction ?(threshold = 0.9) tables _power ~base ~max_level =
+  let fits scale =
+    let tm = Traffic.Matrix.scale base scale in
+    let _, _, congested, _ = place_flows ~threshold ~max_level tables tm in
+    congested = []
+  in
+  if not (fits 1e-6) then 0.0
+  else begin
+    (* Exponential search then bisection on the feasible scale. *)
+    let hi = ref 1e-6 in
+    while fits (2.0 *. !hi) && !hi < 1e6 do
+      hi := 2.0 *. !hi
+    done;
+    let lo = ref !hi and hi = ref (2.0 *. !hi) in
+    for _ = 1 to 30 do
+      let mid = (!lo +. !hi) /. 2.0 in
+      if fits mid then lo := mid else hi := mid
+    done;
+    !lo
+  end

@@ -1,0 +1,189 @@
+type config = {
+  probe_period : float;
+  util_threshold : float;
+  low_threshold : float;
+  hysteresis : float;
+  shift_fraction : float;
+}
+
+let default_config =
+  {
+    probe_period = 0.1;
+    util_threshold = 0.9;
+    low_threshold = 0.4;
+    hysteresis = 0.2;
+    shift_fraction = 0.5;
+  }
+
+type action = Wake of int list | Set_split of float array
+
+type pair_state = {
+  paths : Topo.Path.t array;
+  mutable split : float array;
+  mutable below_since : float option;  (* start of the current low-load streak *)
+}
+
+type t = { cfg : config; g : Topo.Graph.t; pairs : (int * int, pair_state) Hashtbl.t }
+
+let create tables cfg =
+  let g = Tables.graph tables in
+  let pairs = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let paths = Tables.paths e in
+      let split = Array.make (Array.length paths) 0.0 in
+      split.(0) <- 1.0;
+      Hashtbl.replace pairs
+        (e.Tables.origin, e.Tables.dest)
+        { paths; split; below_since = None })
+    (Tables.entries tables);
+  { cfg; g; pairs }
+
+let config t = t.cfg
+
+let split t o d =
+  match Hashtbl.find_opt t.pairs (o, d) with
+  | Some ps -> Array.copy ps.split
+  | None -> invalid_arg "Te.split: unknown pair"
+
+let normalise_copy split =
+  let total = Array.fold_left ( +. ) 0.0 split in
+  if total > 0.0 then Array.map (fun s -> s /. total) split else Array.copy split
+
+let force_split t o d split =
+  match Hashtbl.find_opt t.pairs (o, d) with
+  | None -> invalid_arg "Te.force_split: unknown pair"
+  | Some ps ->
+      if Array.length split <> Array.length ps.paths then
+        invalid_arg "Te.force_split: wrong arity";
+      ps.split <- normalise_copy split;
+      ps.below_since <- None
+
+let path_usable g usable p = Array.for_all (fun l -> usable l) (Topo.Path.links g p)
+
+let path_util g util p =
+  Array.fold_left (fun acc l -> max acc (util l)) 0.0 (Topo.Path.links g p)
+
+let normalise split =
+  let total = Array.fold_left ( +. ) 0.0 split in
+  if total > 0.0 then Array.map (fun s -> s /. total) split else split
+
+let sleeping_links g usable split paths =
+  (* Links the new split needs that the probe saw carrying nothing: ask the
+     network to wake them. The caller knows which are actually asleep; waking
+     an active link is a no-op. *)
+  let links = ref [] in
+  Array.iteri
+    (fun i s ->
+      if s > 0.0 then
+        Array.iter
+          (fun l -> if usable l then links := l :: !links)
+          (Topo.Path.links g paths.(i)))
+    split;
+  List.sort_uniq compare !links
+
+let on_probe t ~origin ~dest ~now ~link_util ~link_usable =
+  match Hashtbl.find_opt t.pairs (origin, dest) with
+  | None -> []
+  | Some ps ->
+      let g = t.g in
+      let cfg = t.cfg in
+      let n = Array.length ps.paths in
+      let usable i = path_usable g link_usable ps.paths.(i) in
+      let util i = path_util g link_util ps.paths.(i) in
+      let split = Array.copy ps.split in
+      let changed = ref false in
+      (* 1. Failures: traffic on an unusable path moves immediately to the
+         first usable path (lowest activation level), in full. *)
+      let failed_share = ref 0.0 in
+      for i = 0 to n - 1 do
+        if split.(i) > 0.0 && not (usable i) then begin
+          failed_share := !failed_share +. split.(i);
+          split.(i) <- 0.0;
+          changed := true
+        end
+      done;
+      if !failed_share > 0.0 then begin
+        (* A failover event must not count towards the consolidation
+           hysteresis: the low-load streak restarts. *)
+        ps.below_since <- None;
+        let target = ref None in
+        for i = n - 1 downto 0 do
+          if usable i then target := Some i
+        done;
+        match !target with
+        | Some i -> split.(i) <- split.(i) +. !failed_share
+        | None -> () (* pair disconnected; drop the share *)
+      end;
+      (* 2. Overload: shift a bounded fraction from the most loaded active
+         path to the next usable level. *)
+      let active_max_util = ref 0.0 in
+      let hottest = ref (-1) in
+      for i = 0 to n - 1 do
+        if split.(i) > 0.0 then begin
+          let u = util i in
+          if u > !active_max_util then begin
+            active_max_util := u;
+            hottest := i
+          end
+        end
+      done;
+      if !active_max_util > cfg.util_threshold && !hottest >= 0 then begin
+        ps.below_since <- None;
+        (* Move towards the coolest usable alternative, as long as it is
+           meaningfully cooler than the threshold (damping factor 0.85 keeps
+           two hot paths from swapping traffic back and forth). *)
+        let target = ref None in
+        for i = n - 1 downto 0 do
+          if i <> !hottest && usable i then begin
+            let u = util i in
+            if u < cfg.util_threshold *. 0.85 then begin
+              match !target with
+              | Some (_, bu) when bu <= u -> ()
+              | _ -> target := Some (i, u)
+            end
+          end
+        done;
+        match !target with
+        | Some (i, _) ->
+            let moved = cfg.shift_fraction *. split.(!hottest) in
+            split.(!hottest) <- split.(!hottest) -. moved;
+            split.(i) <- split.(i) +. moved;
+            changed := true
+        | None -> ()
+      end
+      else if !active_max_util < cfg.low_threshold && !failed_share = 0.0 then begin
+        (* 3. Consolidation: after a sustained low-load period, move the
+           highest active level down one step (towards the always-on path),
+           but only if the lower path is usable. *)
+        match ps.below_since with
+        | None -> ps.below_since <- Some now
+        | Some since when now -. since >= cfg.hysteresis ->
+            let top = ref (-1) in
+            for i = n - 1 downto 0 do
+              if !top < 0 && split.(i) > 0.0 then top := i
+            done;
+            if !top > 0 then begin
+              let lower = ref (-1) in
+              for i = !top - 1 downto 0 do
+                if !lower < 0 && usable i then lower := i
+              done;
+              if !lower >= 0 then begin
+                let moved = min split.(!top) cfg.shift_fraction in
+                split.(!top) <- split.(!top) -. moved;
+                split.(!lower) <- split.(!lower) +. moved;
+                if split.(!top) < 1e-9 then split.(!top) <- 0.0;
+                changed := true;
+                ps.below_since <- Some now
+              end
+            end
+        | Some _ -> ()
+      end
+      else ps.below_since <- None;
+      if not !changed then []
+      else begin
+        let split = normalise split in
+        ps.split <- split;
+        let wakes = sleeping_links g link_usable split ps.paths in
+        [ Wake wakes; Set_split (Array.copy split) ]
+      end

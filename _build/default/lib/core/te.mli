@@ -1,0 +1,57 @@
+(** REsPoNseTE, the paper's online traffic-engineering component
+    (Section 4.4): edge routers (agents) aggregate their traffic on the
+    always-on paths while the utilisation target holds, activate on-demand
+    paths when it no longer does, and fall back to failover paths on
+    failures. Decisions are made per origin from utilisation reported by
+    probes over the agent's own paths only (which is what makes the scheme
+    scalable), every T seconds (T = the maximum round-trip time).
+
+    This module is the pure decision logic; {!Netsim} drives it with
+    simulated probes, wake-up latencies and failures. Shifts are bounded per
+    decision (a TeXCP-style step cap) and widen only after the hysteresis
+    delay, which prevents the persistent oscillations the paper warns
+    about. *)
+
+type config = {
+  probe_period : float;  (** T, seconds; set to the network's max RTT *)
+  util_threshold : float;  (** activate the next level above this (0..1) *)
+  low_threshold : float;  (** consolidate below this (0..1) *)
+  hysteresis : float;  (** seconds below [low_threshold] before stepping down *)
+  shift_fraction : float;  (** max fraction of a pair's traffic moved per decision *)
+}
+
+val default_config : config
+(** threshold 0.9 / low 0.4 / hysteresis 2 probe periods / shift 0.5,
+    probe period 0.1 s. *)
+
+type action =
+  | Wake of int list  (** links the agent asks the network to wake *)
+  | Set_split of float array  (** new traffic split over the pair's paths *)
+
+type t
+
+val create : Tables.t -> config -> t
+(** Fresh controller state: every pair fully on its always-on path. *)
+
+val config : t -> config
+
+val split : t -> int -> int -> float array
+(** Current traffic split of a pair over its paths (activation order). *)
+
+val force_split : t -> int -> int -> float array -> unit
+(** Overrides a pair's split (normalised), e.g. to start an experiment from a
+    non-default state as in Figure 7, where traffic initially uses all paths
+    and REsPoNseTE consolidates it once started. *)
+
+val on_probe :
+  t ->
+  origin:int ->
+  dest:int ->
+  now:float ->
+  link_util:(int -> float) ->
+  link_usable:(int -> bool) ->
+  action list
+(** One probe round for a pair. [link_util] is the utilisation the probe
+    reported for a link; [link_usable] is false for failed links (sleeping
+    links are usable — they wake on demand). The returned actions are to be
+    applied by the caller in order. *)

@@ -1,0 +1,80 @@
+type problem = { lp : Simplex.problem; integer : bool array }
+
+type outcome =
+  | Optimal of { x : float array; objective : float }
+  | Infeasible
+  | Unbounded
+  | Node_limit
+
+let int_eps = 1e-6
+
+let most_fractional integer x =
+  let best = ref None in
+  Array.iteri
+    (fun j is_int ->
+      if is_int then begin
+        let frac = x.(j) -. Float.round x.(j) in
+        let dist = abs_float frac in
+        if dist > int_eps then begin
+          match !best with
+          | Some (_, bd) when bd >= dist -> ()
+          | _ -> best := Some (j, dist)
+        end
+      end)
+    integer;
+  Option.map fst !best
+
+let bound_row n j coeff rel rhs =
+  let row = Array.make n 0.0 in
+  row.(j) <- coeff;
+  (row, rel, rhs)
+
+let solve ?(max_nodes = 50_000) { lp; integer } =
+  if Array.length integer <> lp.Simplex.n_vars then invalid_arg "Milp.solve: integer flags";
+  let incumbent = ref None in
+  let nodes = ref 0 in
+  let hit_limit = ref false in
+  let better obj = match !incumbent with None -> true | Some (_, best) -> obj < best -. 1e-9 in
+  let rec branch extra_rows =
+    if !nodes >= max_nodes then hit_limit := true
+    else begin
+      incr nodes;
+      let problem = { lp with Simplex.rows = extra_rows @ lp.Simplex.rows } in
+      match Simplex.solve problem with
+      | Simplex.Infeasible -> ()
+      | Simplex.Unbounded ->
+          (* A relaxation unbounded at the root makes the MILP unbounded or
+             infeasible; deeper in the tree it cannot improve a bounded
+             incumbent search, so treat it as a dead end only at depth > 0. *)
+          if extra_rows = [] then raise Exit
+      | Simplex.Optimal { x; objective } ->
+          if better objective then begin
+            match most_fractional integer x with
+            | None -> incumbent := Some (Array.copy x, objective)
+            | Some j ->
+                let v = x.(j) in
+                let lo = floor v and hi = ceil v in
+                (* Explore the branch closest to the relaxation first. *)
+                let down () =
+                  branch (bound_row lp.Simplex.n_vars j 1.0 Simplex.Le lo :: extra_rows)
+                in
+                let up () =
+                  branch (bound_row lp.Simplex.n_vars j 1.0 Simplex.Ge hi :: extra_rows)
+                in
+                if v -. lo <= hi -. v then begin
+                  down ();
+                  up ()
+                end
+                else begin
+                  up ();
+                  down ()
+                end
+          end
+    end
+  in
+  match branch [] with
+  | () -> (
+      match !incumbent with
+      | Some (x, objective) -> Optimal { x; objective }
+      | None -> if !hit_limit then Node_limit else Infeasible)
+  | exception Exit -> Unbounded

@@ -1,0 +1,218 @@
+type relation = Le | Eq | Ge
+
+type problem = {
+  n_vars : int;
+  objective : float array;
+  rows : (float array * relation * float) list;
+}
+
+type outcome =
+  | Optimal of { x : float array; objective : float }
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-9
+
+(* The tableau holds the constraint rows in canonical (basic) form; [basis]
+   maps each row to its basic column. [cost] is the reduced-cost row (length
+   ncols) and [obj] the current objective value. Pivoting maintains the
+   invariant that basic columns have zero reduced cost. *)
+type tableau = {
+  t : float array array;  (* m x (ncols + 1); last column is the rhs *)
+  basis : int array;
+  mutable cost : float array;
+  mutable obj : float;
+  ncols : int;
+}
+
+let pivot tb ~row ~col =
+  let m = Array.length tb.t in
+  let r = tb.t.(row) in
+  let piv = r.(col) in
+  for j = 0 to tb.ncols do
+    r.(j) <- r.(j) /. piv
+  done;
+  for i = 0 to m - 1 do
+    if i <> row then begin
+      let f = tb.t.(i).(col) in
+      if abs_float f > 0.0 then begin
+        let ri = tb.t.(i) in
+        for j = 0 to tb.ncols do
+          ri.(j) <- ri.(j) -. (f *. r.(j))
+        done;
+        ri.(col) <- 0.0
+      end
+    end
+  done;
+  let f = tb.cost.(col) in
+  if abs_float f > 0.0 then begin
+    for j = 0 to tb.ncols - 1 do
+      tb.cost.(j) <- tb.cost.(j) -. (f *. r.(j))
+    done;
+    tb.cost.(col) <- 0.0;
+    tb.obj <- tb.obj -. (f *. r.(tb.ncols))
+  end;
+  tb.basis.(row) <- col
+
+(* Bland's rule: entering = lowest-index column with negative reduced cost;
+   leaving = lexicographic min-ratio (ties by lowest basis index). Returns
+   [`Optimal], or [`Unbounded] if some improving column has no positive
+   entry. *)
+let run_phase tb =
+  let m = Array.length tb.t in
+  let rec iterate guard =
+    if guard = 0 then failwith "Simplex.run_phase: iteration guard exceeded";
+    let entering = ref (-1) in
+    (try
+       for j = 0 to tb.ncols - 1 do
+         if tb.cost.(j) < -.eps then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let col = !entering in
+      (* Exact ratio comparisons: an eps-tolerant tie test can pick a row
+         whose ratio is larger by ~1e-9, which a 1e9-scale coefficient then
+         amplifies into a primal infeasibility. Ties (exact equality) break
+         towards the smallest basis index (Bland). *)
+      let best = ref None in
+      for i = 0 to m - 1 do
+        let a = tb.t.(i).(col) in
+        if a > eps then begin
+          let ratio = tb.t.(i).(tb.ncols) /. a in
+          match !best with
+          | None -> best := Some (ratio, i)
+          | Some (br, bi) ->
+              if ratio < br || (ratio = br && tb.basis.(i) < tb.basis.(bi)) then
+                best := Some (ratio, i)
+        end
+      done;
+      match !best with
+      | None -> `Unbounded
+      | Some (_, row) ->
+          pivot tb ~row ~col;
+          iterate (guard - 1)
+    end
+  in
+  iterate (200_000 + (2000 * (m + tb.ncols)))
+
+let solve { n_vars; objective; rows } =
+  let rows =
+    List.map
+      (fun (coeffs, rel, b) ->
+        if Array.length coeffs <> n_vars then invalid_arg "Simplex.solve: row length";
+        (* Row equilibration: dividing a constraint by its largest coefficient
+           magnitude does not change the feasible set but keeps the tableau
+           well conditioned when coefficients span many orders of magnitude
+           (link capacities in bit/s vs unit flow indicators). *)
+        let scale = Array.fold_left (fun acc c -> max acc (abs_float c)) 0.0 coeffs in
+        let coeffs, b =
+          if scale > 0.0 && scale <> 1.0 then (Array.map (fun c -> c /. scale) coeffs, b /. scale)
+          else (coeffs, b)
+        in
+        if b < 0.0 then begin
+          let flipped = match rel with Le -> Ge | Ge -> Le | Eq -> Eq in
+          (Array.map (fun c -> -.c) coeffs, flipped, -.b)
+        end
+        else (coeffs, rel, b))
+      rows
+  in
+  let m = List.length rows in
+  let n_slack = List.length (List.filter (fun (_, r, _) -> r = Le || r = Ge) rows) in
+  let n_art = List.length (List.filter (fun (_, r, _) -> r = Ge || r = Eq) rows) in
+  let ncols = n_vars + n_slack + n_art in
+  let t = Array.make_matrix m (ncols + 1) 0.0 in
+  let basis = Array.make m 0 in
+  let art_cols = Array.make n_art 0 in
+  let slack = ref n_vars in
+  let art = ref (n_vars + n_slack) in
+  let art_count = ref 0 in
+  List.iteri
+    (fun i (coeffs, rel, b) ->
+      Array.blit coeffs 0 t.(i) 0 n_vars;
+      t.(i).(ncols) <- b;
+      (match rel with
+      | Le ->
+          t.(i).(!slack) <- 1.0;
+          basis.(i) <- !slack;
+          incr slack
+      | Ge ->
+          t.(i).(!slack) <- -1.0;
+          incr slack;
+          t.(i).(!art) <- 1.0;
+          basis.(i) <- !art;
+          art_cols.(!art_count) <- !art;
+          incr art_count;
+          incr art
+      | Eq ->
+          t.(i).(!art) <- 1.0;
+          basis.(i) <- !art;
+          art_cols.(!art_count) <- !art;
+          incr art_count;
+          incr art))
+    rows;
+  let tb = { t; basis; cost = Array.make ncols 0.0; obj = 0.0; ncols } in
+  (* Phase 1: minimise the sum of artificials. Reduced costs: 1 on artificial
+     columns minus the rows where artificials are basic. *)
+  if n_art > 0 then begin
+    Array.iter (fun c -> tb.cost.(c) <- 1.0) art_cols;
+    for i = 0 to m - 1 do
+      if basis.(i) >= n_vars + n_slack then begin
+        for j = 0 to ncols - 1 do
+          tb.cost.(j) <- tb.cost.(j) -. t.(i).(j)
+        done;
+        tb.obj <- tb.obj -. t.(i).(ncols)
+      end
+    done
+  end;
+  match (if n_art > 0 then run_phase tb else `Optimal) with
+  | `Unbounded -> Infeasible (* phase 1 is bounded below by 0; defensive *)
+  | `Optimal when n_art > 0 && -.tb.obj > 1e-6 -> Infeasible
+  | `Optimal ->
+      (* Drive any remaining artificial variables out of the basis. *)
+      for i = 0 to m - 1 do
+        if tb.basis.(i) >= n_vars + n_slack then begin
+          let found = ref false in
+          let j = ref 0 in
+          while (not !found) && !j < n_vars + n_slack do
+            if abs_float tb.t.(i).(!j) > eps then begin
+              pivot tb ~row:i ~col:!j;
+              found := true
+            end;
+            incr j
+          done
+          (* If no pivot exists the row is redundant (all-zero); the basic
+             artificial stays at value 0 and is harmless. *)
+        end
+      done;
+      (* Phase 2: real objective. Reduced costs c_j - c_B B^-1 A_j, with
+         artificial columns frozen out by an effectively infinite cost. *)
+      let cost = Array.make ncols 0.0 in
+      Array.blit objective 0 cost 0 n_vars;
+      Array.iter (fun c -> cost.(c) <- infinity) art_cols;
+      tb.cost <- cost;
+      tb.obj <- 0.0;
+      for i = 0 to m - 1 do
+        let b = tb.basis.(i) in
+        let cb = if b < n_vars then objective.(b) else 0.0 in
+        if cb <> 0.0 then begin
+          for j = 0 to ncols - 1 do
+            if tb.cost.(j) <> infinity then tb.cost.(j) <- tb.cost.(j) -. (cb *. t.(i).(j))
+          done;
+          tb.obj <- tb.obj -. (cb *. t.(i).(ncols))
+        end
+      done;
+      (match run_phase tb with
+      | `Unbounded -> Unbounded
+      | `Optimal ->
+          let x = Array.make n_vars 0.0 in
+          for i = 0 to m - 1 do
+            if tb.basis.(i) < n_vars then x.(tb.basis.(i)) <- tb.t.(i).(ncols)
+          done;
+          let objective_value =
+            Array.fold_left ( +. ) 0.0 (Array.mapi (fun j c -> c *. x.(j)) objective)
+          in
+          Optimal { x; objective = objective_value })

@@ -1,0 +1,25 @@
+(** Dense two-phase primal simplex for linear programs in the form
+
+      minimise c.x  subject to  A x (<= | = | >=) b,  x >= 0.
+
+    This is the solver substrate standing in for CPLEX (see DESIGN.md). It
+    uses Bland's rule, so it terminates on degenerate problems; it is exact
+    enough for the small energy-aware routing instances the repository solves
+    optimally, and it deliberately favours clarity over sparse-matrix speed. *)
+
+type relation = Le | Eq | Ge
+
+type problem = {
+  n_vars : int;
+  objective : float array;  (** length [n_vars]; coefficients to minimise *)
+  rows : (float array * relation * float) list;  (** each row has length [n_vars] *)
+}
+
+type outcome =
+  | Optimal of { x : float array; objective : float }
+  | Infeasible
+  | Unbounded
+
+val solve : problem -> outcome
+(** Solves the program. Variables are implicitly bounded below by 0; upper
+    bounds must be expressed as rows. *)

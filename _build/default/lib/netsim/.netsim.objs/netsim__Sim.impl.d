@@ -1,0 +1,1 @@
+lib/netsim/sim.ml: Array Eutil Hashtbl List Option Power Response Topo Traffic

@@ -1,0 +1,1 @@
+lib/openflow/controller.ml: Array Flowtable Hashtbl List Option Response Topo

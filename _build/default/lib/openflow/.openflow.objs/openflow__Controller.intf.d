@@ -1,0 +1,1 @@
+lib/openflow/controller.mli: Flowtable Response Topo

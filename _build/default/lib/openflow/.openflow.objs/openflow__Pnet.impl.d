@@ -1,0 +1,1 @@
+lib/openflow/pnet.ml: Array Controller Eutil Flowtable Topo

@@ -1,0 +1,1 @@
+lib/optim/elastic.ml: Array Minimal Topo Traffic

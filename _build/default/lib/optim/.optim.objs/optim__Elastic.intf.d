@@ -1,0 +1,1 @@
+lib/optim/elastic.mli: Minimal Power Topo Traffic

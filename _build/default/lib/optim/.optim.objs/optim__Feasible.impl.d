@@ -1,0 +1,1 @@
+lib/optim/feasible.ml: Array Hashtbl List Option Routing Topo Traffic

@@ -1,0 +1,1 @@
+lib/optim/feasible.mli: Topo Traffic

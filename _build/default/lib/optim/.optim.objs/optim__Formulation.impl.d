@@ -1,0 +1,1 @@
+lib/optim/formulation.ml: Array Hashtbl List Lp Power Printf Topo Traffic

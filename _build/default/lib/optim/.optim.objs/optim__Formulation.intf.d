@@ -1,0 +1,1 @@
+lib/optim/formulation.mli: Hashtbl Power Topo Traffic

@@ -1,0 +1,1 @@
+lib/optim/greente.ml: Hashtbl List Minimal Routing Traffic

@@ -1,0 +1,1 @@
+lib/optim/greente.mli: Hashtbl Minimal Power Topo Traffic

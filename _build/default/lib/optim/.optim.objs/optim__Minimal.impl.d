@@ -1,0 +1,1 @@
+lib/optim/minimal.ml: Array Feasible Hashtbl List Option Power Topo Traffic

@@ -1,0 +1,1 @@
+lib/optim/minimal.mli: Feasible Hashtbl Power Topo Traffic

@@ -1,0 +1,53 @@
+(** Power models for network elements, after Section 2.2.1 and the
+    "Power consumption model" paragraph of Section 5.1.
+
+    The network power under an activity state is
+    [sum_i X_i (Pc(i) + sum_{i->j} Y_{i->j} (Pl(i->j) + Pa(i->j)))]:
+    a powered router pays its chassis cost, and every active link pays the
+    port cost at both ends plus the optical amplifier cost. An element whose
+    traffic has been removed enters a low-power state of negligible
+    consumption [29]. *)
+
+type t = {
+  description : string;
+  chassis : int -> float;  (** Pc(i), Watts, for node [i] when powered *)
+  port : Topo.Graph.arc -> float;  (** Pl(i->j), Watts, for the port at [arc.src] *)
+  amplifier : int -> float;  (** Pa for the undirected link, Watts *)
+}
+
+val cisco12000 : Topo.Graph.t -> t
+(** Representative current hardware: Cisco 12000-series configuration with a
+    600 W chassis (~60 % of the router budget) and 60-174 W line cards
+    depending on the interface rate (OC3..OC192); 1.2 W optical repeaters
+    every 80 km, derived from the link's propagation latency. *)
+
+val alternative_hw : Topo.Graph.t -> t
+(** The paper's forward-looking model: the always-on (chassis) power budget
+    reduced by a factor of 10. *)
+
+val commodity_dc : ?peak:float -> Topo.Graph.t -> t
+(** Commodity datacenter switches (fat-tree experiments): fixed overheads of
+    fans, switch chips and transceivers amount to ~90 % of the peak budget
+    ([peak], default 150 W) even with no traffic; the remainder is spread over
+    the ports. Hosts consume no network power. *)
+
+val link_power : t -> Topo.Graph.t -> int -> float
+(** Power of one active undirected link: both ports plus amplifiers. *)
+
+val node_power : t -> Topo.Graph.t -> int -> float
+(** Chassis power of a node when powered (0 for hosts). *)
+
+val total : t -> Topo.Graph.t -> Topo.State.t -> float
+(** Network power under the given activity state, Watts. *)
+
+val full : t -> Topo.Graph.t -> float
+(** Power with every element active — the "original power" baseline of the
+    paper's figures. *)
+
+val percent_of_full : t -> Topo.Graph.t -> Topo.State.t -> float
+(** [100 * total / full], the y-axis of Figures 4, 5, 6 and 8a. *)
+
+val state_of_loads : Topo.Graph.t -> (int -> float) -> Topo.State.t
+(** Activity state induced by per-link carried load: a link is active iff it
+    carries strictly positive traffic (sleeping otherwise), and routers follow
+    constraint (3). *)

@@ -1,0 +1,66 @@
+type state = {
+  name : string;
+  power_fraction : float;
+  wake_time : float;
+  transition_energy : float;
+}
+
+let lpi = { name = "LPI"; power_fraction = 0.1; wake_time = 16e-6; transition_energy = 1e-5 }
+let nap = { name = "nap"; power_fraction = 0.05; wake_time = 10e-3; transition_energy = 5e-3 }
+let deep = { name = "deep"; power_fraction = 0.02; wake_time = 2.0; transition_energy = 1.0 }
+
+(* For a gap of length T (at active power 1 W): staying awake costs T.
+   Sleeping costs (T - wake) * fraction + wake * 1 + transition_energy.
+   Break-even where they are equal. *)
+let breakeven_gap s =
+  if s.power_fraction >= 1.0 then infinity
+  else
+    ((s.wake_time *. (1.0 -. s.power_fraction)) +. s.transition_energy)
+    /. (1.0 -. s.power_fraction)
+
+let gaps_of_busy ~busy ~horizon =
+  let rec build cursor = function
+    | [] -> if cursor < horizon then [ (cursor, horizon) ] else []
+    | (b0, b1) :: rest ->
+        if b0 < cursor -. 1e-12 then invalid_arg "Sleep.gaps_of_busy: unsorted busy periods";
+        let tail = build (max cursor b1) rest in
+        if b0 > cursor then (cursor, b0) :: tail else tail
+  in
+  build 0.0 busy
+
+let gap_energy ~active_power ~states gap_len =
+  (* Best achievable energy for one idle gap. *)
+  let awake = gap_len *. active_power in
+  List.fold_left
+    (fun best s ->
+      if gap_len <= s.wake_time then best
+      else begin
+        let asleep =
+          ((gap_len -. s.wake_time) *. s.power_fraction *. active_power)
+          +. (s.wake_time *. active_power)
+          +. (s.transition_energy *. active_power)
+        in
+        min best asleep
+      end)
+    awake states
+
+let energy ~active_power ~states ~busy ~horizon =
+  let busy_time = List.fold_left (fun acc (a, b) -> acc +. (b -. a)) 0.0 busy in
+  let gaps = gaps_of_busy ~busy ~horizon in
+  let idle_energy =
+    List.fold_left (fun acc (a, b) -> acc +. gap_energy ~active_power ~states (b -. a)) 0.0 gaps
+  in
+  (busy_time *. active_power) +. idle_energy
+
+let savings_percent ~active_power ~states ~busy ~horizon =
+  let on = active_power *. horizon in
+  if on <= 0.0 then 0.0 else 100.0 *. (1.0 -. (energy ~active_power ~states ~busy ~horizon /. on))
+
+let periodic_busy ~utilisation ~period ~horizon =
+  if utilisation < 0.0 || utilisation > 1.0 then invalid_arg "Sleep.periodic_busy: utilisation";
+  if period <= 0.0 then invalid_arg "Sleep.periodic_busy: period";
+  let n = int_of_float (ceil (horizon /. period)) in
+  List.init n (fun i ->
+      let start = float_of_int i *. period in
+      (start, min horizon (start +. (utilisation *. period))))
+  |> List.filter (fun (a, b) -> b > a)

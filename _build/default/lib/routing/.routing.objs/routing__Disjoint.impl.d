@@ -1,0 +1,1 @@
+lib/routing/disjoint.ml: Array Dijkstra Hashtbl List Topo

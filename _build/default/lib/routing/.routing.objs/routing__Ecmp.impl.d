@@ -1,0 +1,1 @@
+lib/routing/ecmp.ml: Array Dijkstra List Topo

@@ -1,0 +1,1 @@
+lib/routing/ecmp.mli: Topo

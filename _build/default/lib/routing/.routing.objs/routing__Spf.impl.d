@@ -1,0 +1,1 @@
+lib/routing/spf.ml: Dijkstra Hashtbl List Option Topo

@@ -1,0 +1,1 @@
+lib/routing/spf.mli: Hashtbl Topo

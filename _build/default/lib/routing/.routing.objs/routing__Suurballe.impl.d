@@ -1,0 +1,1 @@
+lib/routing/suurballe.ml: Array Dijkstra Hashtbl List Option Topo

@@ -1,0 +1,1 @@
+lib/routing/suurballe.mli: Topo

@@ -1,0 +1,1 @@
+lib/routing/yen.ml: Array Dijkstra Hashtbl List Topo

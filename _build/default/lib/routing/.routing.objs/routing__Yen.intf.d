@@ -1,0 +1,1 @@
+lib/routing/yen.mli: Topo

@@ -1,0 +1,1 @@
+lib/topo/butterfly.ml: Array Graph Printf

@@ -1,0 +1,1 @@
+lib/topo/export.ml: Array Buffer Graph Hashtbl List Option Path Printf State String

@@ -1,0 +1,1 @@
+lib/topo/export.mli: Graph Path State

@@ -1,0 +1,1 @@
+lib/topo/fattree.ml: Array Graph Printf

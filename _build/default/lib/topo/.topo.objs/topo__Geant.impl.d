@@ -1,0 +1,1 @@
+lib/topo/geant.ml: Array Graph Hashtbl List

@@ -1,0 +1,1 @@
+lib/topo/graph.ml: Array Format Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/topo/graph.mli: Format

@@ -1,0 +1,1 @@
+lib/topo/path.ml: Array Format Graph State Stdlib String

@@ -1,0 +1,1 @@
+lib/topo/pop_access.ml: Array Graph Printf

@@ -1,0 +1,1 @@
+lib/topo/rocketfuel.ml: Array Eutil Graph Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/topo/state.ml: Array Bytes Char Format Graph

@@ -1,0 +1,1 @@
+lib/topo/state.mli: Format Graph

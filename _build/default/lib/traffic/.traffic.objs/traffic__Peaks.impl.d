@@ -1,0 +1,1 @@
+lib/traffic/peaks.ml: Array List Matrix Trace

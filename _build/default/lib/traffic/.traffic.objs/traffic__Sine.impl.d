@@ -1,0 +1,1 @@
+lib/traffic/sine.ml: Float List Matrix Topo

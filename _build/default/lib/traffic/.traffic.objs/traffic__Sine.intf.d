@@ -1,0 +1,1 @@
+lib/traffic/sine.mli: Matrix Topo

@@ -1,0 +1,1 @@
+lib/traffic/synth.ml: Array Eutil Float Gravity Hashtbl List Matrix Topo Trace

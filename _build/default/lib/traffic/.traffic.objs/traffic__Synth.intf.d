@@ -1,0 +1,1 @@
+lib/traffic/synth.mli: Topo Trace

@@ -1,0 +1,1 @@
+lib/traffic/trace.ml: Array Matrix

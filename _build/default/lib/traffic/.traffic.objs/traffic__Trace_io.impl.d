@@ -1,0 +1,1 @@
+lib/traffic/trace_io.ml: Array Buffer List Matrix Printf String Trace

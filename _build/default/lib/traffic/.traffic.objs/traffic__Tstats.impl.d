@@ -1,0 +1,1 @@
+lib/traffic/tstats.ml: Array Eutil List Matrix Trace

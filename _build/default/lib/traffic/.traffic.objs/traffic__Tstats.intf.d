@@ -1,0 +1,1 @@
+lib/traffic/tstats.mli: Matrix Trace

@@ -1,0 +1,43 @@
+let weights g =
+  let w = Array.make (Topo.Graph.node_count g) 0.0 in
+  Topo.Graph.iter_links g ~f:(fun l ->
+      let i, j = Topo.Graph.link_endpoints g l in
+      let c = Topo.Graph.link_capacity g l in
+      w.(i) <- w.(i) +. c;
+      w.(j) <- w.(j) +. c);
+  w
+
+let all_pairs g =
+  let nodes = Topo.Graph.traffic_nodes g in
+  Array.to_list nodes
+  |> List.concat_map (fun o ->
+         Array.to_list nodes |> List.filter_map (fun d -> if o <> d then Some (o, d) else None))
+
+let make g ?pairs ~total () =
+  let pairs = match pairs with Some p -> p | None -> all_pairs g in
+  let w = weights g in
+  let raw = List.map (fun (o, d) -> (o, d, w.(o) *. w.(d))) pairs in
+  let mass = List.fold_left (fun acc (_, _, m) -> acc +. m) 0.0 raw in
+  let m = Matrix.create (Topo.Graph.node_count g) in
+  if mass > 0.0 then
+    List.iter (fun (o, d, x) -> Matrix.add_to m o d (total *. x /. mass)) raw;
+  m
+
+let random_node_pairs g ~seed ~fraction =
+  let rng = Eutil.Prng.create seed in
+  let nodes = Array.copy (Topo.Graph.traffic_nodes g) in
+  Eutil.Prng.shuffle rng nodes;
+  let keep = max 2 (int_of_float (fraction *. float_of_int (Array.length nodes))) in
+  let subset = Array.sub nodes 0 (min keep (Array.length nodes)) in
+  Array.to_list subset
+  |> List.concat_map (fun o ->
+         Array.to_list subset |> List.filter_map (fun d -> if o <> d then Some (o, d) else None))
+  |> List.sort compare
+
+let random_pairs g ~seed ~fraction =
+  let rng = Eutil.Prng.create seed in
+  let kept = List.filter (fun _ -> Eutil.Prng.float rng < fraction) (all_pairs g) in
+  match kept with
+  | [] -> (
+      match all_pairs g with [] -> [] | first :: _ -> [ first ])
+  | l -> l

@@ -1,0 +1,1 @@
+test/fixtures.ml: Array List Option Response Topo Traffic

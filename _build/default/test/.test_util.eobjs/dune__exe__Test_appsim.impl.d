@@ -1,0 +1,1 @@
+test/test_appsim.ml: Alcotest Appsim Array Eutil Fixtures Lazy List Netsim Option Power Printf Response Routing Topo

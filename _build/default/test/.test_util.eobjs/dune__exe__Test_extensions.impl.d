@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Eutil Filename Fixtures Lazy List Option Power Printf QCheck QCheck_alcotest Response Routing String Sys Topo Traffic

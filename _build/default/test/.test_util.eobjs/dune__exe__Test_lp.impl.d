@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Gen List Lp QCheck QCheck_alcotest

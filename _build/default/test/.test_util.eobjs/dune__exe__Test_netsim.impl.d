@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Eutil Fixtures List Netsim Power Printf QCheck QCheck_alcotest Response Topo Traffic

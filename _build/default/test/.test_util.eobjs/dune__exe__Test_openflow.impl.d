@@ -1,0 +1,1 @@
+test/test_openflow.ml: Alcotest Array Eutil Fixtures List Netsim Openflow Option Power Printf QCheck QCheck_alcotest Response Topo Traffic

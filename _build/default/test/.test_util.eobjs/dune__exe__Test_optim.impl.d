@@ -1,0 +1,1 @@
+test/test_optim.ml: Alcotest Array Eutil Hashtbl List Optim Option Power Printf QCheck QCheck_alcotest Topo Traffic

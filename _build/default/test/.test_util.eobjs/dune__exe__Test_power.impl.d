@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Array Eutil Power Printf QCheck QCheck_alcotest Topo

@@ -1,0 +1,1 @@
+test/test_response.ml: Alcotest Array Fixtures Hashtbl Lazy List Option Power Printf Response Routing Topo Traffic

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Eutil Hashtbl List Option Printf QCheck QCheck_alcotest Routing Topo

@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest Array Eutil List Option Printf QCheck QCheck_alcotest Queue Topo

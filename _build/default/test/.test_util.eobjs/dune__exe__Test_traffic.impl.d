@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array List Printf QCheck QCheck_alcotest String Topo Traffic

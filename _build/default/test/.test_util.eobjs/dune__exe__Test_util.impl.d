@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Eutil Gen List Option QCheck QCheck_alcotest

@@ -1,0 +1,47 @@
+(* Shared test fixtures: the Figure 3/7 experiment set-up and small helpers.
+   Linked into every test executable of this directory. *)
+
+module G = Topo.Graph
+module Path = Topo.Path
+
+let all_pairs g =
+  let nodes = G.traffic_nodes g in
+  Array.to_list nodes
+  |> List.concat_map (fun o ->
+         Array.to_list nodes |> List.filter_map (fun d -> if o <> d then Some (o, d) else None))
+
+(* Figure 3/7: A and C send to K. E-H-K is the common always-on path; the
+   "upper" (A-D-G-K) and "lower" (C-F-J-K) paths are on-demand and double as
+   failover. *)
+let fig3_tables () =
+  let ex = Topo.Example.make ~include_b:false () in
+  let g = ex.Topo.Example.graph in
+  let a = ex.Topo.Example.a and c = ex.Topo.Example.c and k = ex.Topo.Example.k in
+  let arc i j = Option.get (G.find_arc g i j) in
+  let via_middle o =
+    Path.of_arcs g [ arc o ex.Topo.Example.e; arc ex.Topo.Example.e ex.Topo.Example.h; arc ex.Topo.Example.h k ]
+  in
+  let upper =
+    Path.of_arcs g [ arc a ex.Topo.Example.d; arc ex.Topo.Example.d ex.Topo.Example.g; arc ex.Topo.Example.g k ]
+  in
+  let lower =
+    Path.of_arcs g [ arc c ex.Topo.Example.f; arc ex.Topo.Example.f ex.Topo.Example.j; arc ex.Topo.Example.j k ]
+  in
+  let entries =
+    [
+      { Response.Tables.origin = a; dest = k; always_on = via_middle a; on_demand = [ upper ]; failover = None };
+      { Response.Tables.origin = c; dest = k; always_on = via_middle c; on_demand = [ lower ]; failover = None };
+    ]
+  in
+  (ex, Response.Tables.make g entries)
+
+let link_between g i j = (G.arc g (Option.get (G.find_arc g i j))).G.link
+
+(* Demand matrix for the Figure 7 workload: A and C each send 2.5 Mbit/s
+   (5 flows of 10 packets/s) towards K. *)
+let fig7_demand ex =
+  let g = ex.Topo.Example.graph in
+  let m = Traffic.Matrix.create (G.node_count g) in
+  Traffic.Matrix.set m ex.Topo.Example.a ex.Topo.Example.k 2.5e6;
+  Traffic.Matrix.set m ex.Topo.Example.c ex.Topo.Example.k 2.5e6;
+  m

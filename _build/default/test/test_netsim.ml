@@ -1,0 +1,265 @@
+(* Tests for the discrete-event network simulator: rate allocation, sleeping,
+   wake-up latency, failure handling and the REsPoNseTE loop end-to-end. *)
+
+module G = Topo.Graph
+module Sim = Netsim.Sim
+
+let fig7_config =
+  {
+    Sim.te =
+      {
+        Response.Te.probe_period = 0.1;
+        util_threshold = 0.9;
+        low_threshold = 0.55;
+        hysteresis = 0.05;
+        shift_fraction = 1.0;
+      };
+    wake_time = 0.01;
+    failure_detection = 0.1;
+    idle_timeout = 0.3;
+    sample_interval = 0.05;
+    te_start = 0.0;
+    transition_energy = 0.0;
+  }
+
+let power_of ex = Power.Model.cisco12000 ex.Topo.Example.graph
+
+let run_fig7 ?(events = []) ?initial_splits ?(duration = 3.0) ?(config = fig7_config) () =
+  let ex, tables = Fixtures.fig3_tables () in
+  let demand = Fixtures.fig7_demand ex in
+  let events = Sim.Set_demand (0.0, demand) :: events in
+  let r = Sim.run ~config ?initial_splits ~tables ~power:(power_of ex) ~events ~duration () in
+  (ex, tables, r)
+
+let middle_link ex =
+  Fixtures.link_between ex.Topo.Example.graph ex.Topo.Example.e ex.Topo.Example.h
+
+let upper_link ex =
+  Fixtures.link_between ex.Topo.Example.graph ex.Topo.Example.d ex.Topo.Example.g
+
+let lower_link ex =
+  Fixtures.link_between ex.Topo.Example.graph ex.Topo.Example.f ex.Topo.Example.j
+
+let sample_near r t =
+  let best = ref r.Sim.samples.(0) in
+  Array.iter
+    (fun sm ->
+      if abs_float (sm.Sim.time -. t) < abs_float (!best.Sim.time -. t) then best := sm)
+    r.Sim.samples;
+  !best
+
+let test_delivers_demand () =
+  let _, _, r = run_fig7 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "delivered %.2f" r.Sim.delivered_fraction)
+    true
+    (r.Sim.delivered_fraction > 0.95);
+  let last = sample_near r 3.0 in
+  Alcotest.(check (float 1e5)) "rate matches demand" 5e6 last.Sim.rate_total
+
+let test_steady_state_on_always_on () =
+  (* Default state: everything on the middle path, on-demand links asleep. *)
+  let ex, _, r = run_fig7 () in
+  let last = sample_near r 3.0 in
+  Alcotest.(check bool) "middle carries everything" true
+    (last.Sim.link_rates.(middle_link ex) > 4.9e6);
+  Alcotest.(check (float 1.0)) "upper sleeps" 0.0 last.Sim.link_rates.(upper_link ex);
+  Alcotest.(check (float 1.0)) "lower sleeps" 0.0 last.Sim.link_rates.(lower_link ex);
+  (* Power below a fully powered network: some links are asleep. *)
+  Alcotest.(check bool) "power savings" true (last.Sim.power_percent < 95.0)
+
+let test_explicit_initial_split_consolidates () =
+  let ex, tables = Fixtures.fig3_tables () in
+  let pairs = Response.Tables.pairs tables in
+  let initial_splits = List.map (fun od -> (od, [| 0.5; 0.5 |])) pairs in
+  let demand = Fixtures.fig7_demand ex in
+  let r =
+    Sim.run ~config:fig7_config ~initial_splits ~tables ~power:(power_of ex)
+      ~events:[ Sim.Set_demand (0.0, demand) ]
+      ~duration:3.0 ()
+  in
+  (* Early on, the on-demand paths carry traffic... *)
+  let early = sample_near r 0.05 in
+  Alcotest.(check bool) "upper initially used" true (early.Sim.link_rates.(upper_link ex) > 1e6);
+  (* ...and after consolidation they are idle. *)
+  let late = sample_near r 3.0 in
+  Alcotest.(check (float 1.0)) "upper drained" 0.0 late.Sim.link_rates.(upper_link ex);
+  Alcotest.(check bool) "middle carries all" true (late.Sim.link_rates.(middle_link ex) > 4.9e6)
+
+let test_failure_restores_traffic () =
+  let ex, tables = Fixtures.fig3_tables () in
+  let g = ex.Topo.Example.graph in
+  let eh = Fixtures.link_between g ex.Topo.Example.e ex.Topo.Example.h in
+  let demand = Fixtures.fig7_demand ex in
+  let r =
+    Sim.run ~config:fig7_config ~tables ~power:(power_of ex)
+      ~events:[ Sim.Set_demand (0.0, demand); Sim.Fail_link (1.5, eh) ]
+      ~duration:4.0 ()
+  in
+  (* Before the failure the middle path carries everything. *)
+  let before = sample_near r 1.4 in
+  Alcotest.(check bool) "middle before" true (before.Sim.link_rates.(eh) > 4.9e6);
+  (* Shortly after, delivery drops... *)
+  let during = sample_near r 1.55 in
+  Alcotest.(check bool) "dip during detection" true (during.Sim.rate_total < 4.9e6);
+  (* ...and within ~detection + wake + a couple of probe periods it is back on
+     the on-demand paths. *)
+  let after = sample_near r 2.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "restored (%.1f Mbit/s)" (after.Sim.rate_total /. 1e6))
+    true (after.Sim.rate_total > 4.9e6);
+  Alcotest.(check bool) "upper now used" true (after.Sim.link_rates.(upper_link ex) > 2.0e6);
+  Alcotest.(check bool) "lower now used" true (after.Sim.link_rates.(lower_link ex) > 2.0e6);
+  Alcotest.(check (float 1.0)) "middle dead" 0.0 after.Sim.link_rates.(eh)
+
+let test_wake_delay_gates_recovery () =
+  (* With a 1 s wake time, recovery from the failure takes at least
+     detection + wake. *)
+  let ex, tables = Fixtures.fig3_tables () in
+  let g = ex.Topo.Example.graph in
+  let eh = Fixtures.link_between g ex.Topo.Example.e ex.Topo.Example.h in
+  let demand = Fixtures.fig7_demand ex in
+  let config = { fig7_config with Sim.wake_time = 1.0 } in
+  let r =
+    Sim.run ~config ~tables ~power:(power_of ex)
+      ~events:[ Sim.Set_demand (0.0, demand); Sim.Fail_link (1.5, eh) ]
+      ~duration:5.0 ()
+  in
+  (* At 2.0 s (0.5 s after failure) the wake has not finished. *)
+  let mid = sample_near r 2.0 in
+  Alcotest.(check bool) "still down" true (mid.Sim.rate_total < 1e6);
+  let after = sample_near r 4.5 in
+  Alcotest.(check bool) "recovered after wake" true (after.Sim.rate_total > 4.9e6)
+
+let test_idle_links_sleep_and_power_follows () =
+  let _, _, r = run_fig7 ~duration:3.0 () in
+  let last = sample_near r 3.0 in
+  (* 10 links exist; steady state should keep only the 4 middle-path links
+     (A-E, C-E, E-H, H-K) awake. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "links active = %d" last.Sim.links_active)
+    true
+    (last.Sim.links_active <= 5);
+  Alcotest.(check bool) "power follows" true (last.Sim.power_percent < 80.0)
+
+let test_demand_wakes_sleeping_paths () =
+  (* Demand arrives only at t = 2 s, long after every link fell asleep. The
+     data plane wakes the always-on path and traffic flows. *)
+  let ex, tables = Fixtures.fig3_tables () in
+  let demand = Fixtures.fig7_demand ex in
+  let r =
+    Sim.run ~config:fig7_config ~tables ~power:(power_of ex)
+      ~events:[ Sim.Set_demand (2.0, demand) ]
+      ~duration:4.0 ()
+  in
+  let quiet = sample_near r 1.5 in
+  Alcotest.(check int) "everything asleep when idle" 0 quiet.Sim.links_active;
+  let after = sample_near r 3.5 in
+  Alcotest.(check bool) "traffic flows after wake" true (after.Sim.rate_total > 4.9e6)
+
+let test_overload_activates_on_demand_paths () =
+  (* Push 16 Mbit/s through the 10 Mbit/s middle path: the TE must spread to
+     the on-demand paths, restoring full delivery. *)
+  let ex, tables = Fixtures.fig3_tables () in
+  let g = ex.Topo.Example.graph in
+  let m = Traffic.Matrix.create (G.node_count g) in
+  Traffic.Matrix.set m ex.Topo.Example.a ex.Topo.Example.k 8e6;
+  Traffic.Matrix.set m ex.Topo.Example.c ex.Topo.Example.k 8e6;
+  let r =
+    Sim.run ~config:fig7_config ~tables ~power:(power_of ex)
+      ~events:[ Sim.Set_demand (0.0, m) ]
+      ~duration:3.0 ()
+  in
+  let last = sample_near r 3.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "delivers %.1f of 16 Mbit/s" (last.Sim.rate_total /. 1e6))
+    true
+    (last.Sim.rate_total > 15e6);
+  Alcotest.(check bool) "upper active" true (last.Sim.link_rates.(upper_link ex) > 1e6)
+
+let test_fattree_sine_power_tracks_demand () =
+  (* A small end-to-end datacenter scenario: k=4 fat-tree, far traffic
+     following a sine; network power must be higher at the crest than at the
+     trough (energy proportionality over time, Figure 4 / 8b). *)
+  let ft = Topo.Fattree.make 4 in
+  let g = ft.Topo.Fattree.graph in
+  let power = Power.Model.commodity_dc g in
+  let pairs = Traffic.Sine.fattree_pairs ft Traffic.Sine.Far in
+  let tables = Response.Framework.precompute g power ~pairs in
+  let period = 20.0 in
+  let events =
+    List.init 21 (fun i ->
+        let t = float_of_int i in
+        Sim.Set_demand (t, Traffic.Sine.fattree ft Traffic.Sine.Far ~peak:4e8 ~period t))
+  in
+  let config =
+    {
+      fig7_config with
+      Sim.te = { fig7_config.Sim.te with util_threshold = 0.8; shift_fraction = 0.5 };
+      sample_interval = 0.25;
+      idle_timeout = 1.0;
+      wake_time = 0.1;
+    }
+  in
+  let r = Sim.run ~config ~tables ~power ~events ~duration:20.0 () in
+  let trough = sample_near r 1.0 in
+  let crest = sample_near r 11.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "crest %.0f%% > trough %.0f%%" crest.Sim.power_percent trough.Sim.power_percent)
+    true
+    (crest.Sim.power_percent > trough.Sim.power_percent);
+  Alcotest.(check bool) "delivered most demand" true (r.Sim.delivered_fraction > 0.85)
+
+
+(* Property: on random demands over the Fig. 3 topology the simulator keeps
+   its physical invariants — achieved rate never exceeds demand, power stays
+   within [0, 100] %, delivery within [0, 1]. *)
+let prop_sim_invariants =
+  QCheck.Test.make ~name:"simulator invariants on random scenarios" ~count:25
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Eutil.Prng.create seed in
+      let ex, tables = Fixtures.fig3_tables () in
+      let g = ex.Topo.Example.graph in
+      let events =
+        List.init 4 (fun i ->
+            let m = Traffic.Matrix.create (G.node_count g) in
+            Traffic.Matrix.set m ex.Topo.Example.a ex.Topo.Example.k
+              (Eutil.Prng.range rng 0.1e6 12e6);
+            Traffic.Matrix.set m ex.Topo.Example.c ex.Topo.Example.k
+              (Eutil.Prng.range rng 0.1e6 12e6);
+            Sim.Set_demand (0.5 *. float_of_int i, m))
+      in
+      let r = Sim.run ~config:fig7_config ~tables ~power:(power_of ex) ~events ~duration:3.0 () in
+      r.Sim.delivered_fraction >= 0.0
+      && r.Sim.delivered_fraction <= 1.0 +. 1e-9
+      && Array.for_all
+           (fun sm ->
+             sm.Sim.power_percent >= -1e-9
+             && sm.Sim.power_percent <= 100.0 +. 1e-9
+             && sm.Sim.rate_total <= sm.Sim.demand_total +. 1.0)
+           r.Sim.samples)
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "delivers demand" `Quick test_delivers_demand;
+          Alcotest.test_case "steady state on always-on" `Quick test_steady_state_on_always_on;
+          Alcotest.test_case "explicit initial split" `Quick test_explicit_initial_split_consolidates;
+          Alcotest.test_case "idle sleep + power" `Quick test_idle_links_sleep_and_power_follows;
+        ] );
+      ( "failure",
+        [
+          Alcotest.test_case "failover restores traffic" `Quick test_failure_restores_traffic;
+          Alcotest.test_case "wake delay gates recovery" `Quick test_wake_delay_gates_recovery;
+        ] );
+      ( "dynamics",
+        [
+          Alcotest.test_case "demand wakes paths" `Quick test_demand_wakes_sleeping_paths;
+          Alcotest.test_case "overload activates on-demand" `Quick test_overload_activates_on_demand_paths;
+          Alcotest.test_case "fat-tree sine" `Slow test_fattree_sine_power_tracks_demand;
+          QCheck_alcotest.to_alcotest prop_sim_invariants;
+        ] );
+    ]

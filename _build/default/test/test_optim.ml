@@ -1,0 +1,434 @@
+(* Tests for the energy-aware routing optimisation layer: feasibility
+   routing, the power-down greedy, the GreenTE and ElasticTree heuristics,
+   and cross-validation against the exact MILP. *)
+
+module G = Topo.Graph
+module State = Topo.State
+module Path = Topo.Path
+module Matrix = Traffic.Matrix
+
+let arc_between g i j = Option.get (G.find_arc g i j)
+
+(* -------------------- Feasible -------------------- *)
+
+let test_place_respects_capacity () =
+  let g = Topo.Example.line 3 in
+  (* 1G links; two 0.7G flows on the same pair direction cannot share. *)
+  let f = Optim.Feasible.create g in
+  (match Optim.Feasible.place f 0 2 0.7e9 with
+  | Some p -> Alcotest.(check int) "routed" 2 (Path.hops p)
+  | None -> Alcotest.fail "first flow must fit");
+  Alcotest.(check bool) "second flow rejected" true (Optim.Feasible.place f 1 2 0.7e9 = None);
+  (* A smaller one still fits. *)
+  Alcotest.(check bool) "small flow fits" true (Optim.Feasible.place f 1 2 0.2e9 <> None)
+
+let test_place_prefers_uncongested () =
+  (* Flow 1->3 has two equal-latency choices, 1-0-3 and 1-2-3. Loading link
+     1-0 to 90 % first makes the congestion-aware weight prefer 1-2-3. *)
+  let g = Topo.Example.square_with_diagonal () in
+  let f = Optim.Feasible.create g in
+  let l10 = (G.arc g (arc_between g 1 0)).G.link in
+  ignore (Optim.Feasible.place f 1 0 0.9e9);
+  match Optim.Feasible.place f 1 3 0.05e9 with
+  | Some p -> Alcotest.(check bool) "detour" false (Path.uses_link g p l10)
+  | None -> Alcotest.fail "should fit"
+
+let test_margin () =
+  let g = Topo.Example.line 2 in
+  let f = Optim.Feasible.create ~margin:0.5 g in
+  Alcotest.(check bool) "above margin rejected" true (Optim.Feasible.place f 0 1 0.6e9 = None);
+  Alcotest.(check bool) "below margin ok" true (Optim.Feasible.place f 0 1 0.4e9 <> None)
+
+let test_remove_restores () =
+  let g = Topo.Example.line 2 in
+  let f = Optim.Feasible.create g in
+  let a01 = arc_between g 0 1 in
+  ignore (Optim.Feasible.place f 0 1 0.8e9);
+  Alcotest.(check (float 1.0)) "loaded" 0.8e9 (Optim.Feasible.load f a01);
+  ignore (Optim.Feasible.remove f 0 1);
+  Alcotest.(check (float 1e-6)) "restored" 0.0 (Optim.Feasible.load f a01);
+  Alcotest.(check bool) "refit" true (Optim.Feasible.place f 0 1 0.9e9 <> None)
+
+let test_snapshot_restore () =
+  let g = Topo.Example.square_with_diagonal () in
+  let f = Optim.Feasible.create g in
+  ignore (Optim.Feasible.place f 0 2 0.5e9);
+  let snap = Optim.Feasible.snapshot f in
+  ignore (Optim.Feasible.place f 1 3 0.5e9);
+  ignore (Optim.Feasible.remove f 0 2);
+  Optim.Feasible.restore f snap;
+  Alcotest.(check bool) "0->2 back" true (Optim.Feasible.path_of f 0 2 <> None);
+  Alcotest.(check bool) "1->3 gone" true (Optim.Feasible.path_of f 1 3 = None)
+
+let test_route_matrix () =
+  let g = Topo.Geant.make () in
+  let tm = Traffic.Gravity.make g ~total:20e9 () in
+  let f = Optim.Feasible.create g in
+  Alcotest.(check bool) "moderate load feasible" true (Optim.Feasible.route_matrix f tm);
+  Alcotest.(check bool) "utilisation sane" true (Optim.Feasible.max_utilization f <= 1.0 +. 1e-9)
+
+let test_route_matrix_infeasible () =
+  let g = Topo.Example.line 2 in
+  let tm = Matrix.of_flows 2 [ (0, 1, 2e9) ] in
+  let f = Optim.Feasible.create g in
+  Alcotest.(check bool) "over capacity" false (Optim.Feasible.route_matrix f tm)
+
+(* -------------------- Minimal (power-down greedy) -------------------- *)
+
+let eps_matrix g =
+  let nodes = G.traffic_nodes g in
+  let pairs =
+    Array.to_list nodes
+    |> List.concat_map (fun o ->
+           Array.to_list nodes |> List.filter_map (fun d -> if o <> d then Some (o, d) else None))
+  in
+  Matrix.uniform (G.node_count g) ~pairs ~demand:1.0
+
+let test_greedy_sheds_diagonal () =
+  (* Square with diagonal and epsilon demands: a spanning tree suffices, so
+     the greedy must power at most 3 of the 5 links. *)
+  let g = Topo.Example.square_with_diagonal () in
+  let power = Power.Model.cisco12000 g in
+  match Optim.Minimal.power_down g power (eps_matrix g) with
+  | Some r ->
+      Alcotest.(check int) "spanning tree" 3 (State.active_links r.Optim.Minimal.state);
+      Alcotest.(check bool) "power below full" true (r.Optim.Minimal.power_percent < 100.0)
+  | None -> Alcotest.fail "feasible"
+
+let test_greedy_keeps_needed_capacity () =
+  (* Two 0.8G flows 0->2: tree is not enough; diagonal plus detour needed. *)
+  let g = Topo.Example.square_with_diagonal () in
+  let power = Power.Model.cisco12000 g in
+  let tm = Matrix.of_flows 4 [ (0, 2, 0.8e9); (1, 3, 0.2e9); (3, 1, 0.8e9) ] in
+  match Optim.Minimal.power_down g power tm with
+  | Some r ->
+      (* The returned configuration must actually carry the matrix. *)
+      Alcotest.(check bool) "self-consistent" true
+        (Optim.Minimal.evaluate g power tm r.Optim.Minimal.state <> None)
+  | None -> Alcotest.fail "feasible"
+
+let test_greedy_infeasible_demand () =
+  let g = Topo.Example.line 2 in
+  let power = Power.Model.cisco12000 g in
+  let tm = Matrix.of_flows 2 [ (0, 1, 5e9) ] in
+  Alcotest.(check bool) "infeasible" true (Optim.Minimal.power_down g power tm = None)
+
+let test_greedy_deterministic () =
+  let g = Topo.Geant.make () in
+  let power = Power.Model.cisco12000 g in
+  let tm = Traffic.Gravity.make g ~total:30e9 () in
+  let a = Option.get (Optim.Minimal.power_down g power tm) in
+  let b = Option.get (Optim.Minimal.power_down g power tm) in
+  Alcotest.(check bool) "same configuration" true
+    (State.equal a.Optim.Minimal.state b.Optim.Minimal.state)
+
+let test_greedy_geant_savings () =
+  (* Sanity on the headline claim: at low demand on a redundant ISP topology
+     the greedy sheds a substantial fraction of link power. *)
+  let g = Topo.Geant.make () in
+  let power = Power.Model.cisco12000 g in
+  let tm = Traffic.Gravity.make g ~total:10e9 () in
+  let r = Option.get (Optim.Minimal.power_down g power tm) in
+  Alcotest.(check bool)
+    (Printf.sprintf "savings > 10%% (got %.1f%%)" (100.0 -. r.Optim.Minimal.power_percent))
+    true
+    (r.Optim.Minimal.power_percent < 90.0);
+  (* All 23 PoPs originate traffic, so every router stays powered. *)
+  Alcotest.(check int) "routers on" 23 (State.active_nodes r.Optim.Minimal.state)
+
+let test_pinned_links_stay_on () =
+  let g = Topo.Example.square_with_diagonal () in
+  let power = Power.Model.cisco12000 g in
+  let diag = (G.arc g (arc_between g 0 2)).G.link in
+  let r =
+    Option.get (Optim.Minimal.power_down ~pinned:(fun l -> l = diag) g power (eps_matrix g))
+  in
+  Alcotest.(check bool) "pinned link active" true (State.link_on r.Optim.Minimal.state diag)
+
+let test_greedy_powers_off_routers () =
+  (* Fat-tree with traffic only inside one edge switch: all aggregation and
+     core switches can power off entirely. *)
+  let ft = Topo.Fattree.make 4 in
+  let g = ft.Topo.Fattree.graph in
+  let power = Power.Model.commodity_dc g in
+  let h0 = Topo.Fattree.host ft 0 and h1 = Topo.Fattree.host ft 1 in
+  let tm = Matrix.of_flows (G.node_count g) [ (h0, h1, 1e8) ] in
+  let r = Option.get (Optim.Minimal.power_down g power tm) in
+  Array.iter
+    (fun c -> Alcotest.(check bool) "core off" false (State.node_on r.Optim.Minimal.state c))
+    ft.Topo.Fattree.cores;
+  Array.iter
+    (fun a -> Alcotest.(check bool) "agg off" false (State.node_on r.Optim.Minimal.state a))
+    ft.Topo.Fattree.aggs
+
+(* -------------------- GreenTE heuristic -------------------- *)
+
+let test_greente_feasible_and_saves () =
+  let g = Topo.Geant.make () in
+  let power = Power.Model.cisco12000 g in
+  let tm = Traffic.Gravity.make g ~total:20e9 () in
+  match Optim.Greente.minimal_subset g power tm with
+  | Some r ->
+      Alcotest.(check bool) "saves energy" true (r.Optim.Minimal.power_percent < 100.0);
+      Alcotest.(check bool) "configuration carries demand" true
+        (Optim.Minimal.evaluate g power tm r.Optim.Minimal.state <> None)
+  | None -> Alcotest.fail "feasible"
+
+let test_greente_no_better_than_greedy () =
+  (* Restricting to k shortest paths cannot find configurations the
+     unrestricted greedy would reject as infeasible; typically it saves less
+     (or equal). Allow a small tolerance for tie-breaking noise. *)
+  let g = Topo.Geant.make () in
+  let power = Power.Model.cisco12000 g in
+  let tm = Traffic.Gravity.make g ~total:20e9 () in
+  let full = Option.get (Optim.Minimal.power_down g power tm) in
+  let ksp = Option.get (Optim.Greente.minimal_subset g power tm) in
+  Alcotest.(check bool)
+    (Printf.sprintf "greente %.1f%% >= greedy %.1f%% - 5" ksp.Optim.Minimal.power_percent
+       full.Optim.Minimal.power_percent)
+    true
+    (ksp.Optim.Minimal.power_percent >= full.Optim.Minimal.power_percent -. 5.0)
+
+(* -------------------- ElasticTree heuristic -------------------- *)
+
+let test_elastic_near_traffic () =
+  let ft = Topo.Fattree.make 4 in
+  let g = ft.Topo.Fattree.graph in
+  let power = Power.Model.commodity_dc g in
+  (* Low intra-pod traffic: one aggregation switch per pod, cores off or 1. *)
+  let tm = Traffic.Sine.fattree ft Traffic.Sine.Near ~peak:2e8 ~period:100.0 50.0 in
+  match Optim.Elastic.minimal_subset ft power tm with
+  | Some r ->
+      let active_aggs =
+        Array.fold_left
+          (fun acc a -> if State.node_on r.Optim.Minimal.state a then acc + 1 else acc)
+          0 ft.Topo.Fattree.aggs
+      in
+      Alcotest.(check int) "one agg per pod" 4 active_aggs;
+      let active_cores =
+        Array.fold_left
+          (fun acc c -> if State.node_on r.Optim.Minimal.state c then acc + 1 else acc)
+          0 ft.Topo.Fattree.cores
+      in
+      Alcotest.(check int) "no cores needed" 0 active_cores
+  | None -> Alcotest.fail "feasible"
+
+let test_elastic_far_traffic_uses_core () =
+  let ft = Topo.Fattree.make 4 in
+  let g = ft.Topo.Fattree.graph in
+  let power = Power.Model.commodity_dc g in
+  let tm = Traffic.Sine.fattree ft Traffic.Sine.Far ~peak:5e8 ~period:100.0 50.0 in
+  match Optim.Elastic.minimal_subset ft power tm with
+  | Some r ->
+      let active_cores =
+        Array.fold_left
+          (fun acc c -> if State.node_on r.Optim.Minimal.state c then acc + 1 else acc)
+          0 ft.Topo.Fattree.cores
+      in
+      Alcotest.(check bool) "cores active" true (active_cores >= 1);
+      Alcotest.(check bool) "not all cores" true (active_cores < 4);
+      Alcotest.(check bool) "carries demand" true
+        (Optim.Minimal.evaluate g power tm r.Optim.Minimal.state <> None)
+  | None -> Alcotest.fail "feasible"
+
+let test_elastic_tracks_load () =
+  let ft = Topo.Fattree.make 4 in
+  let g = ft.Topo.Fattree.graph in
+  let power = Power.Model.commodity_dc g in
+  let at peak =
+    let tm = Traffic.Sine.fattree ft Traffic.Sine.Far ~peak ~period:100.0 50.0 in
+    (Option.get (Optim.Elastic.minimal_subset ft power tm)).Optim.Minimal.power_percent
+  in
+  let low = at 1e8 and high = at 9e8 in
+  Alcotest.(check bool) (Printf.sprintf "power scales (%.0f%% < %.0f%%)" low high) true (low < high)
+
+(* -------------------- Exact MILP cross-validation -------------------- *)
+
+let test_formulation_triangle () =
+  (* One tiny flow 0->1 on a triangle: optimum powers routers 0,1 and the
+     direct link only. *)
+  let g = Topo.Example.triangle () in
+  let power = Power.Model.cisco12000 g in
+  let tm = Matrix.of_flows 3 [ (0, 1, 1.0) ] in
+  match Optim.Formulation.solve g power tm with
+  | `Optimal e ->
+      Alcotest.(check int) "one link" 1 (State.active_links e.Optim.Formulation.state);
+      Alcotest.(check bool) "third router off" false (State.node_on e.Optim.Formulation.state 2);
+      let p = Hashtbl.find e.Optim.Formulation.routing (0, 1) in
+      Alcotest.(check int) "direct" 1 (Path.hops p);
+      (* 2 chassis + the direct link's port/amplifier power. *)
+      let link = (G.arc g (arc_between g 0 1)).G.link in
+      Alcotest.(check (float 1e-6)) "power"
+        ((2.0 *. 600.0) +. Power.Model.link_power power g link)
+        e.Optim.Formulation.power_watts
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_formulation_capacity_forces_split () =
+  (* Square: two 0.8G flows 0->2 and 1->3. Sharing the diagonal (1-0-2-3 for
+     the second flow) would need only 3 links but overloads the diagonal at
+     1.6G > 1G; the optimum is still 3 links but with disjoint loads. *)
+  let g = Topo.Example.square_with_diagonal () in
+  let power = Power.Model.cisco12000 g in
+  let tm = Matrix.of_flows 4 [ (0, 2, 0.8e9); (1, 3, 0.8e9) ] in
+  match Optim.Formulation.solve g power tm with
+  | `Optimal e ->
+      Alcotest.(check int) "three links" 3 (State.active_links e.Optim.Formulation.state);
+      (* Verify per-arc loads respect capacity. *)
+      let loads = Array.make (G.arc_count g) 0.0 in
+      Hashtbl.iter
+        (fun (o, d) p ->
+          Array.iter
+            (fun a -> loads.(a) <- loads.(a) +. Matrix.get tm o d)
+            p.Path.arcs)
+        e.Optim.Formulation.routing;
+      Array.iteri
+        (fun a load ->
+          Alcotest.(check bool) "capacity respected" true (load <= (G.arc g a).G.capacity +. 1.0))
+        loads
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_greedy_matches_exact_on_small_instances () =
+  (* Cross-validation of the CPLEX substitute (DESIGN.md): on small random
+     instances the greedy configuration power is close to the MILP optimum
+     and never below it. *)
+  let checked = ref 0 in
+  for seed = 1 to 6 do
+    let rng = Eutil.Prng.create seed in
+    let b = G.Builder.create () in
+    let n = 5 in
+    let nodes = Array.init n (fun i -> G.Builder.add_node b (Printf.sprintf "v%d" i)) in
+    for i = 1 to n - 1 do
+      let j = Eutil.Prng.int rng i in
+      ignore (G.Builder.add_link b ~capacity:1e9 ~latency:1e-3 nodes.(i) nodes.(j))
+    done;
+    for _ = 1 to 3 do
+      let i = Eutil.Prng.int rng n and j = Eutil.Prng.int rng n in
+      if i <> j then
+        try ignore (G.Builder.add_link b ~capacity:1e9 ~latency:1e-3 nodes.(i) nodes.(j))
+        with Invalid_argument _ -> ()
+    done;
+    let g = G.Builder.build b in
+    let power = Power.Model.cisco12000 g in
+    let tm =
+      Matrix.of_flows n
+        [ (0, n - 1, 0.3e9); (1, n - 2, 0.2e9) ]
+    in
+    match (Optim.Formulation.solve g power tm, Optim.Minimal.power_down g power tm) with
+    | `Optimal exact, Some greedy ->
+        incr checked;
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: greedy %.0fW >= exact %.0fW" seed
+             greedy.Optim.Minimal.power_watts exact.Optim.Formulation.power_watts)
+          true
+          (greedy.Optim.Minimal.power_watts >= exact.Optim.Formulation.power_watts -. 1e-6);
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: greedy within 25%% of optimum" seed)
+          true
+          (greedy.Optim.Minimal.power_watts <= 1.25 *. exact.Optim.Formulation.power_watts)
+    | `Infeasible, None -> ()
+    | `Limit, _ -> () (* node budget exhausted: skip, do not fail *)
+    | `Infeasible, Some _ -> Alcotest.fail "greedy found a config the MILP calls infeasible"
+    | `Optimal _, None -> Alcotest.fail "MILP feasible but greedy failed"
+  done;
+  Alcotest.(check bool) "validated at least 3 instances" true (!checked >= 3)
+
+let test_formulation_delay_bound () =
+  (* Square with heavy-latency direct link excluded by a tight delay bound.
+     Direct 0-2 has latency 1 ms; force bound below 2 ms so the 2-hop detour
+     (2 ms) is out, direct is in. *)
+  let g = Topo.Example.square_with_diagonal () in
+  let power = Power.Model.cisco12000 g in
+  let tm = Matrix.of_flows 4 [ (0, 2, 1.0) ] in
+  match
+    Optim.Formulation.solve
+      ~delay_bound:(fun od -> if od = (0, 2) then Some 1.5e-3 else None)
+      g power tm
+  with
+  | `Optimal e ->
+      let p = Hashtbl.find e.Optim.Formulation.routing (0, 2) in
+      Alcotest.(check int) "direct path under bound" 1 (Path.hops p)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_formulation_pinned () =
+  let g = Topo.Example.triangle () in
+  let power = Power.Model.cisco12000 g in
+  let tm = Matrix.of_flows 3 [ (0, 1, 1.0) ] in
+  (* Pin link 1 (n1-n2): it must appear active even though unused. *)
+  match Optim.Formulation.solve ~pin_link:(fun l -> l = 1) g power tm with
+  | `Optimal e -> Alcotest.(check bool) "pinned on" true (State.link_on e.Optim.Formulation.state 1)
+  | _ -> Alcotest.fail "expected optimal"
+
+(* Property: the greedy result's routing is consistent — every flow of the
+   matrix has a path over active links with total load within capacity. *)
+let prop_greedy_consistent =
+  QCheck.Test.make ~name:"greedy routing consistent with state and capacities" ~count:25
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Eutil.Prng.create seed in
+      let g = Topo.Geant.make () in
+      let power = Power.Model.cisco12000 g in
+      let pairs = Traffic.Gravity.random_pairs g ~seed ~fraction:0.3 in
+      let total = 5e9 +. (Eutil.Prng.float rng *. 30e9) in
+      let tm = Traffic.Gravity.make g ~pairs ~total () in
+      match Optim.Minimal.power_down g power tm with
+      | None -> true
+      | Some r ->
+          let ok_paths =
+            List.for_all
+              (fun (o, d, _) ->
+                match Hashtbl.find_opt r.Optim.Minimal.routing (o, d) with
+                | None -> false
+                | Some p -> Topo.Path.active g r.Optim.Minimal.state p)
+              (Matrix.flows tm)
+          in
+          let ok_caps =
+            Array.for_all (fun x -> x)
+              (Array.init (G.arc_count g) (fun a ->
+                   r.Optim.Minimal.arc_load.(a) <= (G.arc g a).G.capacity +. 1.0))
+          in
+          ok_paths && ok_caps)
+
+let () =
+  Alcotest.run "optim"
+    [
+      ( "feasible",
+        [
+          Alcotest.test_case "capacity" `Quick test_place_respects_capacity;
+          Alcotest.test_case "congestion avoidance" `Quick test_place_prefers_uncongested;
+          Alcotest.test_case "margin" `Quick test_margin;
+          Alcotest.test_case "remove restores" `Quick test_remove_restores;
+          Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+          Alcotest.test_case "route matrix" `Quick test_route_matrix;
+          Alcotest.test_case "route matrix infeasible" `Quick test_route_matrix_infeasible;
+        ] );
+      ( "greedy",
+        [
+          Alcotest.test_case "sheds diagonal" `Quick test_greedy_sheds_diagonal;
+          Alcotest.test_case "keeps needed capacity" `Quick test_greedy_keeps_needed_capacity;
+          Alcotest.test_case "infeasible demand" `Quick test_greedy_infeasible_demand;
+          Alcotest.test_case "deterministic" `Quick test_greedy_deterministic;
+          Alcotest.test_case "geant savings" `Quick test_greedy_geant_savings;
+          Alcotest.test_case "pinned links" `Quick test_pinned_links_stay_on;
+          Alcotest.test_case "routers off in fat-tree" `Quick test_greedy_powers_off_routers;
+          QCheck_alcotest.to_alcotest prop_greedy_consistent;
+        ] );
+      ( "greente",
+        [
+          Alcotest.test_case "feasible and saves" `Quick test_greente_feasible_and_saves;
+          Alcotest.test_case "bounded by greedy" `Quick test_greente_no_better_than_greedy;
+        ] );
+      ( "elastic",
+        [
+          Alcotest.test_case "near traffic" `Quick test_elastic_near_traffic;
+          Alcotest.test_case "far traffic uses core" `Quick test_elastic_far_traffic_uses_core;
+          Alcotest.test_case "tracks load" `Quick test_elastic_tracks_load;
+        ] );
+      ( "exact",
+        [
+          Alcotest.test_case "triangle optimum" `Quick test_formulation_triangle;
+          Alcotest.test_case "capacity forces split" `Quick test_formulation_capacity_forces_split;
+          Alcotest.test_case "greedy vs exact" `Slow test_greedy_matches_exact_on_small_instances;
+          Alcotest.test_case "delay bound" `Quick test_formulation_delay_bound;
+          Alcotest.test_case "pinned link" `Quick test_formulation_pinned;
+        ] );
+    ]

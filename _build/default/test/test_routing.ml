@@ -1,0 +1,258 @@
+(* Tests for the routing substrate: Dijkstra, InvCap SPF, Yen's k-shortest
+   paths, ECMP enumeration, and disjoint failover paths. *)
+
+module G = Topo.Graph
+module Path = Topo.Path
+
+let arc_between g i j = Option.get (G.find_arc g i j)
+
+let test_dijkstra_line () =
+  let g = Topo.Example.line 5 in
+  let res = Routing.Dijkstra.run g ~src:0 () in
+  Alcotest.(check (float 1e-12)) "distance" 4e-3 res.Routing.Dijkstra.dist.(4);
+  match Routing.Dijkstra.path_to g res 4 with
+  | Some p -> Alcotest.(check int) "hops" 4 (Path.hops p)
+  | None -> Alcotest.fail "unreachable"
+
+let test_dijkstra_prefers_light_arcs () =
+  (* Square with diagonal: 0-2 direct vs 0-1-2; with unit latencies the
+     diagonal wins; with a heavy diagonal the two-hop path wins. *)
+  let g = Topo.Example.square_with_diagonal () in
+  let diag = (G.arc g (arc_between g 0 2)).G.link in
+  let p = Option.get (Routing.Dijkstra.shortest_path g ~src:0 ~dst:2 ()) in
+  Alcotest.(check int) "direct" 1 (Path.hops p);
+  let weight a = if a.G.link = diag then 10.0 else 1.0 in
+  let p' = Option.get (Routing.Dijkstra.shortest_path g ~weight ~src:0 ~dst:2 ()) in
+  Alcotest.(check int) "two hops" 2 (Path.hops p')
+
+let test_dijkstra_respects_active () =
+  let g = Topo.Example.square_with_diagonal () in
+  let diag = (G.arc g (arc_between g 0 2)).G.link in
+  let active a = a.G.link <> diag in
+  let p = Option.get (Routing.Dijkstra.shortest_path g ~active ~src:0 ~dst:2 ()) in
+  Alcotest.(check bool) "avoids diagonal" false (Path.uses_link g p diag)
+
+let test_dijkstra_unreachable () =
+  (* Two disconnected components. *)
+  let b = G.Builder.create () in
+  let x = G.Builder.add_node b "x" in
+  let y = G.Builder.add_node b "y" in
+  let z = G.Builder.add_node b "z" in
+  ignore (G.Builder.add_link b ~capacity:1.0 ~latency:1.0 x y);
+  let g = G.Builder.build b in
+  Alcotest.(check bool) "unreachable" true (Routing.Dijkstra.shortest_path g ~src:x ~dst:z () = None)
+
+(* Dijkstra distances equal Bellman-Ford distances on random graphs. *)
+let prop_dijkstra_vs_bellman_ford =
+  QCheck.Test.make ~name:"dijkstra matches bellman-ford" ~count:50
+    QCheck.(pair (int_range 3 10) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Eutil.Prng.create seed in
+      let b = G.Builder.create () in
+      let nodes = Array.init n (fun i -> G.Builder.add_node b (Printf.sprintf "v%d" i)) in
+      for i = 1 to n - 1 do
+        let j = Eutil.Prng.int rng i in
+        ignore
+          (G.Builder.add_link b ~capacity:1e9
+             ~latency:(0.001 +. Eutil.Prng.float rng)
+             nodes.(i) nodes.(j))
+      done;
+      (* A few extra random links. *)
+      for _ = 1 to n do
+        let i = Eutil.Prng.int rng n and j = Eutil.Prng.int rng n in
+        if i <> j then
+          try
+            ignore
+              (G.Builder.add_link b ~capacity:1e9
+                 ~latency:(0.001 +. Eutil.Prng.float rng)
+                 nodes.(i) nodes.(j))
+          with Invalid_argument _ -> ()
+      done;
+      let g = G.Builder.build b in
+      let res = Routing.Dijkstra.run g ~src:0 () in
+      (* Bellman-Ford. *)
+      let dist = Array.make n infinity in
+      dist.(0) <- 0.0;
+      for _ = 1 to n do
+        G.fold_arcs g ~init:() ~f:(fun () a ->
+            if dist.(a.G.src) +. a.G.latency < dist.(a.G.dst) then
+              dist.(a.G.dst) <- dist.(a.G.src) +. a.G.latency)
+      done;
+      Array.for_all2
+        (fun d1 d2 -> d1 = d2 || abs_float (d1 -. d2) < 1e-9)
+        res.Routing.Dijkstra.dist dist)
+
+let test_invcap_weights () =
+  let g = Topo.Geant.make () in
+  let w = Routing.Spf.invcap g in
+  (* The largest capacity (10G) weighs 1; a 2.5G link weighs 4. *)
+  let found_one = ref false and found_four = ref false in
+  G.fold_arcs g ~init:() ~f:(fun () a ->
+      let x = w a in
+      if abs_float (x -. 1.0) < 1e-9 then found_one := true;
+      if abs_float (x -. 4.0) < 1e-9 then found_four := true);
+  Alcotest.(check bool) "10G weight 1" true !found_one;
+  Alcotest.(check bool) "2.5G weight 4" true !found_four
+
+let test_spf_routes_all_pairs () =
+  let g = Topo.Geant.make () in
+  let nodes = G.traffic_nodes g in
+  let pairs =
+    Array.to_list nodes
+    |> List.concat_map (fun o ->
+           Array.to_list nodes |> List.filter_map (fun d -> if o <> d then Some (o, d) else None))
+  in
+  let table = Routing.Spf.routes g ~pairs () in
+  Alcotest.(check int) "all pairs routed" (List.length pairs) (Hashtbl.length table);
+  (* Every route actually goes from o to d. *)
+  Hashtbl.iter
+    (fun (o, d) p ->
+      Alcotest.(check int) "src" o p.Path.src;
+      Alcotest.(check int) "dst" d p.Path.dst)
+    table
+
+let test_delay_bounds () =
+  let g = Topo.Geant.make () in
+  let o = G.node_of_name g "PT" and d = G.node_of_name g "SE" in
+  let bounds = Routing.Spf.delay_bound_table g ~pairs:[ (o, d) ] ~beta:0.25 in
+  let bound = Hashtbl.find bounds (o, d) in
+  let ospf = Option.get (Routing.Spf.path g ~src:o ~dst:d ()) in
+  Alcotest.(check (float 1e-12)) "1.25x ospf delay" (1.25 *. Path.latency g ospf) bound
+
+let test_yen_basic () =
+  let g = Topo.Example.square_with_diagonal () in
+  let paths = Routing.Yen.k_shortest g ~src:0 ~dst:2 ~k:3 () in
+  Alcotest.(check int) "three distinct paths" 3 (List.length paths);
+  (* Nondecreasing latency. *)
+  let lats = List.map (Path.latency g) paths in
+  Alcotest.(check bool) "sorted" true (List.sort compare lats = lats);
+  (* All distinct and loopless. *)
+  let distinct = List.sort_uniq Path.compare paths in
+  Alcotest.(check int) "distinct" 3 (List.length distinct);
+  List.iter
+    (fun p ->
+      let ns = Path.nodes g p in
+      let sorted = Array.copy ns in
+      Array.sort compare sorted;
+      let dup = ref false in
+      for i = 1 to Array.length sorted - 1 do
+        if sorted.(i) = sorted.(i - 1) then dup := true
+      done;
+      Alcotest.(check bool) "loopless" false !dup)
+    paths
+
+let test_yen_k_larger_than_path_count () =
+  let g = Topo.Example.line 3 in
+  let paths = Routing.Yen.k_shortest g ~src:0 ~dst:2 ~k:5 () in
+  Alcotest.(check int) "only one path exists" 1 (List.length paths)
+
+let test_yen_first_is_shortest () =
+  let g = Topo.Geant.make () in
+  let o = G.node_of_name g "PT" and d = G.node_of_name g "SE" in
+  match Routing.Yen.k_shortest g ~src:o ~dst:d ~k:4 () with
+  | first :: _ ->
+      let direct = Option.get (Routing.Dijkstra.shortest_path g ~src:o ~dst:d ()) in
+      Alcotest.(check (float 1e-12)) "same latency" (Path.latency g direct) (Path.latency g first)
+  | [] -> Alcotest.fail "no paths"
+
+let prop_yen_sorted_distinct =
+  QCheck.Test.make ~name:"yen yields sorted distinct loopless paths" ~count:40
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Eutil.Prng.create seed in
+      let n = 8 in
+      let b = G.Builder.create () in
+      let nodes = Array.init n (fun i -> G.Builder.add_node b (Printf.sprintf "v%d" i)) in
+      for i = 1 to n - 1 do
+        let j = Eutil.Prng.int rng i in
+        ignore (G.Builder.add_link b ~capacity:1e9 ~latency:(0.001 +. Eutil.Prng.float rng) nodes.(i) nodes.(j))
+      done;
+      for _ = 1 to 6 do
+        let i = Eutil.Prng.int rng n and j = Eutil.Prng.int rng n in
+        if i <> j then
+          try ignore (G.Builder.add_link b ~capacity:1e9 ~latency:(0.001 +. Eutil.Prng.float rng) nodes.(i) nodes.(j))
+          with Invalid_argument _ -> ()
+      done;
+      let g = G.Builder.build b in
+      let paths = Routing.Yen.k_shortest g ~src:0 ~dst:(n - 1) ~k:5 () in
+      let lats = List.map (Path.latency g) paths in
+      List.sort compare lats = lats
+      && List.length (List.sort_uniq Path.compare paths) = List.length paths)
+
+let test_ecmp_enumerates_equal_cost () =
+  (* 4-cycle without diagonal: two equal-cost 2-hop paths 0-1-2 and 0-3-2. *)
+  let b = G.Builder.create () in
+  let n = Array.init 4 (fun i -> G.Builder.add_node b (Printf.sprintf "v%d" i)) in
+  let link x y = ignore (G.Builder.add_link b ~capacity:1e9 ~latency:1e-3 x y) in
+  link n.(0) n.(1);
+  link n.(1) n.(2);
+  link n.(2) n.(3);
+  link n.(3) n.(0);
+  let g = G.Builder.build b in
+  let paths = Routing.Ecmp.all_shortest g ~src:0 ~dst:2 () in
+  Alcotest.(check int) "two equal-cost paths" 2 (List.length paths);
+  match Routing.Ecmp.split g ~paths ~demand:10.0 with
+  | [ (_, s1); (_, s2) ] ->
+      Alcotest.(check (float 1e-9)) "even split" 5.0 s1;
+      Alcotest.(check (float 1e-9)) "even split" 5.0 s2
+  | _ -> Alcotest.fail "split shape"
+
+let test_disjoint_failover () =
+  let g = Topo.Example.square_with_diagonal () in
+  let direct = Option.get (Routing.Dijkstra.shortest_path g ~src:0 ~dst:2 ()) in
+  let failover = Option.get (Routing.Disjoint.max_disjoint g ~protect:[ direct ] ~src:0 ~dst:2 ()) in
+  Alcotest.(check int) "no shared link" 0 (Routing.Disjoint.shared_links g failover [ direct ]);
+  (* On a line no disjoint path exists: max_disjoint still returns the path. *)
+  let line = Topo.Example.line 3 in
+  let p = Option.get (Routing.Dijkstra.shortest_path line ~src:0 ~dst:2 ()) in
+  let f = Option.get (Routing.Disjoint.max_disjoint line ~protect:[ p ] ~src:0 ~dst:2 ()) in
+  Alcotest.(check int) "overlap unavoidable" 2 (Routing.Disjoint.shared_links line f [ p ])
+
+let test_avoiding () =
+  let g = Topo.Example.square_with_diagonal () in
+  let diag = (G.arc g (arc_between g 0 2)).G.link in
+  let p = Option.get (Routing.Disjoint.avoiding g ~avoid:[ diag ] ~src:0 ~dst:2 ()) in
+  Alcotest.(check bool) "avoids" false (Path.uses_link g p diag);
+  (* Avoiding every link around node 2 disconnects it. *)
+  let incident =
+    List.filter
+      (fun l ->
+        let i, j = G.link_endpoints g l in
+        i = 2 || j = 2)
+      (List.init (G.link_count g) (fun l -> l))
+  in
+  Alcotest.(check bool) "disconnected" true
+    (Routing.Disjoint.avoiding g ~avoid:incident ~src:0 ~dst:2 () = None)
+
+let () =
+  Alcotest.run "routing"
+    [
+      ( "dijkstra",
+        [
+          Alcotest.test_case "line distances" `Quick test_dijkstra_line;
+          Alcotest.test_case "weight sensitivity" `Quick test_dijkstra_prefers_light_arcs;
+          Alcotest.test_case "activity filter" `Quick test_dijkstra_respects_active;
+          Alcotest.test_case "unreachable" `Quick test_dijkstra_unreachable;
+          QCheck_alcotest.to_alcotest prop_dijkstra_vs_bellman_ford;
+        ] );
+      ( "spf",
+        [
+          Alcotest.test_case "invcap weights" `Quick test_invcap_weights;
+          Alcotest.test_case "all-pairs routes" `Quick test_spf_routes_all_pairs;
+          Alcotest.test_case "delay bounds" `Quick test_delay_bounds;
+        ] );
+      ( "yen",
+        [
+          Alcotest.test_case "basic" `Quick test_yen_basic;
+          Alcotest.test_case "k larger than path count" `Quick test_yen_k_larger_than_path_count;
+          Alcotest.test_case "first is shortest" `Quick test_yen_first_is_shortest;
+          QCheck_alcotest.to_alcotest prop_yen_sorted_distinct;
+        ] );
+      ( "ecmp",
+        [ Alcotest.test_case "equal-cost enumeration" `Quick test_ecmp_enumerates_equal_cost ] );
+      ( "disjoint",
+        [
+          Alcotest.test_case "failover" `Quick test_disjoint_failover;
+          Alcotest.test_case "avoiding" `Quick test_avoiding;
+        ] );
+    ]

@@ -1,0 +1,129 @@
+(* Tests for the utility substrate: PRNG, heap, statistics. *)
+
+module Prng = Eutil.Prng
+module Heap = Eutil.Heap
+module Stats = Eutil.Stats
+
+let test_prng_deterministic () =
+  let a = Prng.create 123 and b = Prng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check (float 0.0)) "same stream" (Prng.float a) (Prng.float b)
+  done
+
+let test_prng_seeds_differ () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let xs = List.init 16 (fun _ -> Prng.float a) in
+  let ys = List.init 16 (fun _ -> Prng.float b) in
+  Alcotest.(check bool) "different streams" true (xs <> ys)
+
+let test_prng_float_range () =
+  let r = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Prng.float r in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_prng_int_range () =
+  let r = Prng.create 9 in
+  for _ = 1 to 1000 do
+    let x = Prng.int r 7 in
+    Alcotest.(check bool) "in [0,7)" true (x >= 0 && x < 7)
+  done
+
+let test_prng_gaussian_moments () =
+  let r = Prng.create 11 in
+  let xs = Array.init 20_000 (fun _ -> Prng.gaussian r) in
+  Alcotest.(check bool) "mean ~ 0" true (abs_float (Stats.mean xs) < 0.05);
+  Alcotest.(check bool) "stdev ~ 1" true (abs_float (Stats.stdev xs -. 1.0) < 0.05)
+
+let test_prng_sample_distinct () =
+  let r = Prng.create 3 in
+  let s = Prng.sample r 10 20 in
+  Alcotest.(check int) "size" 10 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  for i = 1 to 9 do
+    Alcotest.(check bool) "distinct" true (sorted.(i) <> sorted.(i - 1))
+  done
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  List.iter (fun p -> Heap.push h p p) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let order = List.init 5 (fun _ -> fst (Option.get (Heap.pop h))) in
+  Alcotest.(check (list (float 0.0))) "sorted" [ 1.0; 2.0; 3.0; 4.0; 5.0 ] order;
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  Heap.push h 1.0 "first";
+  Heap.push h 1.0 "second";
+  Heap.push h 1.0 "third";
+  let order = List.init 3 (fun _ -> snd (Option.get (Heap.pop h))) in
+  Alcotest.(check (list string)) "fifo on ties" [ "first"; "second"; "third" ] order
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in nondecreasing order" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let h = Heap.create () in
+      List.iter (fun x -> Heap.push h x ()) xs;
+      let rec drain prev =
+        match Heap.pop h with
+        | None -> true
+        | Some (p, ()) -> p >= prev && drain p
+      in
+      drain neg_infinity)
+
+let test_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "median" 2.5 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.percentile xs 100.0)
+
+let test_boxplot () =
+  let b = Stats.boxplot (Array.init 101 (fun i -> float_of_int i)) in
+  Alcotest.(check (float 1e-9)) "median" 50.0 b.Stats.median;
+  Alcotest.(check (float 1e-9)) "q1" 25.0 b.Stats.q1;
+  Alcotest.(check (float 1e-9)) "q3" 75.0 b.Stats.q3
+
+let test_ccdf () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0 |] in
+  match Stats.ccdf xs [ 25.0 ] with
+  | [ (25.0, pct) ] -> Alcotest.(check (float 1e-9)) "half above" 50.0 pct
+  | _ -> Alcotest.fail "shape"
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~name:"percentile stays within sample bounds" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_range (-100.) 100.)) (float_bound_inclusive 100.0))
+    (fun (xs, p) ->
+      let a = Array.of_list xs in
+      let v = Stats.percentile a p in
+      let lo = Array.fold_left min infinity a and hi = Array.fold_left max neg_infinity a in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_prng_seeds_differ;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "int range" `Quick test_prng_int_range;
+          Alcotest.test_case "gaussian moments" `Quick test_prng_gaussian_moments;
+          Alcotest.test_case "sample distinct" `Quick test_prng_sample_distinct;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "boxplot" `Quick test_boxplot;
+          Alcotest.test_case "ccdf" `Quick test_ccdf;
+          QCheck_alcotest.to_alcotest prop_percentile_bounds;
+        ] );
+    ]
