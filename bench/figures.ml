@@ -47,7 +47,7 @@ let fig1a () =
         let o = Eutil.Prng.int rng n in
         let d = (o + 1 + Eutil.Prng.int rng (n - 1)) mod n in
         (o, d))
-    |> List.sort_uniq compare
+    |> List.sort_uniq Eutil.Order.int_pair
   in
   let trace = Traffic.Synth.google_dc_like ~n ~pairs ~days () in
   let thresholds = [ 0.0; 10.0; 20.0; 30.0; 40.0; 50.0; 60.0; 80.0; 100.0 ] in
@@ -118,7 +118,7 @@ let fig2b () =
         let o = Eutil.Prng.int rng n_hosts in
         let d = (o + 1 + Eutil.Prng.int rng (n_hosts - 1)) mod n_hosts in
         (Topo.Fattree.host ft o, Topo.Fattree.host ft d))
-    |> List.sort_uniq compare
+    |> List.sort_uniq Eutil.Order.int_pair
   in
   let days = if fast then 1 else 8 in
   (* Generate at hourly granularity directly: a dense 648-node matrix per

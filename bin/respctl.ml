@@ -192,6 +192,98 @@ let replay_cmd =
     Term.(const run $ topology_arg $ seed_arg $ fraction_arg $ days_arg)
 
 
+(* ------------------------------- lint ------------------------------- *)
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit a machine-readable JSON report.")
+
+let report_findings ~json findings =
+  if json then print_string (Check.Finding.to_json findings)
+  else List.iter (fun f -> Format.printf "%a@." Check.Finding.pp f) findings
+
+let lint_cmd =
+  let dirs_arg =
+    let doc = "Files or directories to lint (default: lib bin bench test)." in
+    Arg.(value & pos_all string [ "lib"; "bin"; "bench"; "test" ] & info [] ~docv:"PATH" ~doc)
+  in
+  let rules_arg =
+    Arg.(value & flag & info [ "rules" ] ~doc:"List the lint rules and exit.")
+  in
+  let run dirs json list_rules =
+    if list_rules then begin
+      List.iter (fun (id, doc) -> Format.printf "%-14s %s@." id doc) Check.Srclint.rules;
+      0
+    end
+    else begin
+      match List.filter (fun p -> not (Sys.file_exists p)) dirs with
+      | p :: _ ->
+          (* A typo'd path must not report "clean" to a CI caller. *)
+          Format.eprintf "lint: no such path %s@." p;
+          2
+      | [] -> (
+          let findings = Check.Srclint.lint_paths dirs in
+          report_findings ~json findings;
+          match findings with
+          | [] ->
+              if not json then Format.printf "lint: clean@.";
+              0
+          | fs ->
+              if not json then Format.printf "lint: %d finding(s)@." (List.length fs);
+              1)
+    end
+  in
+  let doc = "Lint the OCaml sources for banned patterns (Check.Srclint)." in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ dirs_arg $ json_arg $ rules_arg)
+
+(* ------------------------------- check ------------------------------ *)
+
+let check_cmd =
+  let run name seed fraction beta json =
+    with_topology name (fun t g ->
+        let power = power_of t g in
+        let pairs = pairs_of g ~seed ~fraction in
+        (* Collect findings ourselves instead of letting precompute raise on
+           the first error, so the report is complete. *)
+        let saved = !Response.Framework.install_checks in
+        Response.Framework.install_checks := false;
+        let tables =
+          Fun.protect
+            ~finally:(fun () -> Response.Framework.install_checks := saved)
+            (fun () ->
+              let config = { Response.Framework.default with latency_beta = beta } in
+              Response.Framework.precompute ~config g power ~pairs)
+        in
+        let entries =
+          List.map
+            (fun e ->
+              {
+                Check.Invariant.origin = e.Response.Tables.origin;
+                dest = e.Response.Tables.dest;
+                always_on = e.Response.Tables.always_on;
+                on_demand = e.Response.Tables.on_demand;
+                failover = e.Response.Tables.failover;
+              })
+            (Response.Tables.entries tables)
+        in
+        let tm = Traffic.Gravity.make g ~pairs ~total:1e9 () in
+        let findings =
+          Check.Invariant.check_graph g
+          @ Check.Invariant.check_power power g
+          @ Check.Invariant.check_tables g ~pairs entries
+          @ Check.Invariant.check_matrix g tm
+        in
+        report_findings ~json findings;
+        let errors = Check.Finding.errors findings in
+        if not json then
+          Format.printf "check: %d error(s), %d warning(s) over %d pairs@." (List.length errors)
+            (List.length findings - List.length errors)
+            (List.length pairs);
+        if errors = [] then 0 else 1)
+  in
+  let doc = "Validate domain invariants (graph, tables, power, traffic) for a topology." in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ topology_arg $ seed_arg $ fraction_arg $ beta_arg $ json_arg)
+
 (* ------------------------------ export ------------------------------ *)
 
 let export_cmd =
@@ -222,4 +314,7 @@ let export_cmd =
 let () =
   let doc = "REsPoNse: identifying and using energy-critical paths" in
   let info = Cmd.info "respctl" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ topo_cmd; tables_cmd; power_cmd; replay_cmd; export_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ topo_cmd; tables_cmd; power_cmd; replay_cmd; export_cmd; lint_cmd; check_cmd ]))

@@ -37,7 +37,7 @@ let demand_at scenario g t =
 let run ?(config = Netsim.Sim.default_config) ~tables ~power scenario =
   let g = Response.Tables.graph tables in
   let join_times =
-    List.map (fun (c : client) -> c.join_time) scenario.clients |> List.sort_uniq compare
+    List.map (fun (c : client) -> c.join_time) scenario.clients |> List.sort_uniq Float.compare
   in
   let events =
     List.map (fun t -> Netsim.Sim.Set_demand (t, demand_at scenario g t)) join_times

@@ -1,0 +1,41 @@
+type severity = Error | Warn
+
+type t = { rule : string; severity : severity; where : string; message : string }
+
+let v ?(severity = Error) ~rule ~where message = { rule; severity; where; message }
+
+let errors fs = List.filter (fun f -> f.severity = Error) fs
+
+let has_rule rule fs = List.exists (fun f -> String.equal f.rule rule) fs
+
+let severity_to_string = function Error -> "error" | Warn -> "warning"
+
+let pp ppf f =
+  Format.fprintf ppf "%s: %s [%s]: %s" f.where (severity_to_string f.severity) f.rule f.message
+
+let render fs = String.concat "\n" (List.map (Format.asprintf "%a" pp) fs)
+
+(* Minimal JSON string escaping: the fields we emit only ever contain file
+   paths, rule names, and human-readable messages. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json fs =
+  let obj f =
+    Printf.sprintf "  {\"rule\": \"%s\", \"severity\": \"%s\", \"where\": \"%s\", \"message\": \"%s\"}"
+      (json_escape f.rule)
+      (severity_to_string f.severity)
+      (json_escape f.where) (json_escape f.message)
+  in
+  "[\n" ^ String.concat ",\n" (List.map obj fs) ^ "\n]\n"

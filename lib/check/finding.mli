@@ -1,0 +1,31 @@
+(** A single diagnostic produced by the static-analysis layers: {!Srclint}
+    (source-level) and {!Invariant} (domain-level). Findings are plain data
+    so that callers can filter, render, or serialise them uniformly. *)
+
+type severity = Error | Warn
+
+type t = {
+  rule : string;  (** stable rule identifier, e.g. ["poly-compare"] *)
+  severity : severity;
+  where : string;  (** location: ["file:line:col"] or a domain entity *)
+  message : string;
+}
+
+val v : ?severity:severity -> rule:string -> where:string -> string -> t
+(** Builds a finding; [severity] defaults to [Error]. *)
+
+val errors : t list -> t list
+(** Only the findings with severity [Error]. *)
+
+val has_rule : string -> t list -> bool
+(** True iff some finding carries the given rule identifier. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [where: severity rule: message]. *)
+
+val render : t list -> string
+(** All findings, one per line, in the {!pp} format. *)
+
+val to_json : t list -> string
+(** Machine-readable report: a JSON array of objects with fields
+    [rule], [severity], [where], and [message]. *)

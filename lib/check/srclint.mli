@@ -1,0 +1,33 @@
+(** Self-contained OCaml source linter: a small lexer (comments, strings,
+    char literals, quoted strings) plus a token-stream rule engine. No ppx,
+    no external parser — by design it is heuristic, catching the banned
+    patterns that have bitten energy-aware routing code (see DESIGN.md).
+
+    Rules:
+    - [poly-compare]: bare [compare] / [Stdlib.compare] used as a value or
+      applied. Polymorphic comparison on float-carrying tuples or records
+      mis-orders NaN and costs a megamorphic call per element; use
+      [Float.compare]-based comparators.
+    - [obj-magic]: any use of [Obj.magic].
+    - [hashtbl-find]: bare [Hashtbl.find] (raises an anonymous [Not_found]);
+      use [find_opt] or a wrapper with a descriptive error.
+    - [catchall-try]: [try ... with _ ->] whose first arm is a wildcard.
+    - [list-nth]: [List.nth] — O(n) per access, quadratic in loops.
+
+    Suppression: a comment [(* lint: allow <rule> ... *)] disables the named
+    rules (or [all]) on every line the comment spans; when the comment is the
+    first thing on its line it also covers the following line. *)
+
+val rules : (string * string) list
+(** [(id, description)] for every lint rule, for [--help]-style listings. *)
+
+val lint_string : file:string -> string -> Finding.t list
+(** Lints source text; [file] is used only for locations. *)
+
+val lint_file : string -> Finding.t list
+(** Reads and lints one file. *)
+
+val lint_paths : string list -> Finding.t list
+(** Lints every [.ml]/[.mli] under the given files/directories
+    (recursively), skipping entries whose basename starts with ['.'] or
+    ['_'] (e.g. [_build]). Findings are ordered by file, then line. *)

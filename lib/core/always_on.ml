@@ -47,7 +47,7 @@ let compute ?(margin = 1.0) ?(mode = Oblivious) ?latency_beta g power ~pairs () 
            the sampled endpoints. *)
         let w = Traffic.Gravity.weights g in
         let endpoints =
-          List.concat_map (fun (o, d) -> [ o; d ]) pairs |> List.sort_uniq compare
+          List.concat_map (fun (o, d) -> [ o; d ]) pairs |> List.sort_uniq Int.compare
         in
         let injection = List.fold_left (fun acc n -> acc +. w.(n)) 0.0 endpoints in
         Traffic.Gravity.make g ~pairs ~total:(0.05 *. injection) ()

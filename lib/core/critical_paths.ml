@@ -27,8 +27,10 @@ let paths_of t o d =
   | None -> []
   | Some l ->
       List.map (fun (p, acc) -> (p, !acc)) !l
-      |> List.sort (fun (p1, v1) (p2, v2) ->
-             compare (-.v1, p1.Topo.Path.arcs) (-.v2, p2.Topo.Path.arcs))
+      |> List.sort
+           (Eutil.Order.by
+              (fun (p, v) -> (v, p.Topo.Path.arcs))
+              (Eutil.Order.pair (Eutil.Order.desc Float.compare) (Eutil.Order.array Int.compare)))
 
 let coverage t ~top =
   if top < 0 then invalid_arg "Critical_paths.coverage";

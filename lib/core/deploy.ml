@@ -14,7 +14,8 @@ let tunnel_stats tables =
   let per_node =
     Array.to_list (Array.mapi (fun n c -> (n, c)) counts)
     |> List.filter (fun (_, c) -> c > 0)
-    |> List.sort (fun (n1, c1) (n2, c2) -> compare (-c1, n1) (-c2, n2))
+    |> List.sort
+         (Eutil.Order.by (fun (n, c) -> (c, n)) (Eutil.Order.pair (Eutil.Order.desc Int.compare) Int.compare))
   in
   {
     per_node;

@@ -21,6 +21,30 @@ let default =
     on_demand = Stress 0.2;
   }
 
+(* Debug-time validation of freshly installed tables (Check.Invariant). On
+   by default so every test exercises it; RESPONSE_CHECKS=0 (or flipping the
+   ref) disables it for production-scale precomputations. *)
+let install_checks = ref (Sys.getenv_opt "RESPONSE_CHECKS" <> Some "0")
+
+let validate_tables g ~pairs tables =
+  let entries =
+    List.map
+      (fun e ->
+        {
+          Check.Invariant.origin = e.Tables.origin;
+          dest = e.Tables.dest;
+          always_on = e.Tables.always_on;
+          on_demand = e.Tables.on_demand;
+          failover = e.Tables.failover;
+        })
+      (Tables.entries tables)
+  in
+  match Check.Finding.errors (Check.Invariant.check_tables g ~pairs entries) with
+  | [] -> ()
+  | errors ->
+      invalid_arg
+        ("Framework.precompute: table invariants violated:\n" ^ Check.Finding.render errors)
+
 let precompute ?(config = default) g power ~pairs =
   if config.n_paths < 2 then invalid_arg "Framework.precompute: n_paths >= 2";
   let always_on =
@@ -62,7 +86,9 @@ let precompute ?(config = default) g power ~pairs =
               })
       pairs
   in
-  Tables.make g entries
+  let tables = Tables.make g entries in
+  if !install_checks then validate_tables g ~pairs tables;
+  tables
 
 type evaluation = {
   state : Topo.State.t;

@@ -27,6 +27,13 @@ val default : config
 (** Demand-oblivious: epsilon always-on, stress-factor (0.2) on-demand,
     N = 3, margin 1.0, no latency bound. *)
 
+val install_checks : bool ref
+(** When true (the default, unless the environment sets [RESPONSE_CHECKS=0]),
+    {!precompute} runs the {!Check.Invariant.check_tables} validators on the
+    freshly built tables and raises [Invalid_argument] on any error-severity
+    finding (path validity, coverage, duplicate installs). Warnings, such as
+    a maximally- but not fully-disjoint failover, are not fatal. *)
+
 val precompute : ?config:config -> Topo.Graph.t -> Power.Model.t -> pairs:(int * int) list -> Tables.t
 
 type evaluation = {

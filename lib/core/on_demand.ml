@@ -18,7 +18,11 @@ let excluded_links g assignment fraction =
   let loaded =
     Array.to_list (Array.mapi (fun l s -> (l, s)) sf) |> List.filter (fun (_, s) -> s > 0.0)
   in
-  let sorted = List.sort (fun (l1, s1) (l2, s2) -> compare (-.s1, l1) (-.s2, l2)) loaded in
+  let sorted =
+    List.sort
+      (Eutil.Order.by (fun (l, s) -> (s, l)) (Eutil.Order.pair (Eutil.Order.desc Float.compare) Int.compare))
+      loaded
+  in
   let n_excl = int_of_float (floor (fraction *. float_of_int (List.length sorted))) in
   List.filteri (fun i _ -> i < n_excl) sorted |> List.map fst
 

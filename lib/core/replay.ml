@@ -58,7 +58,7 @@ let recomputation_rate t ~bucket =
       Hashtbl.replace buckets b (count + if iv.changed then 1 else 0))
     t.intervals;
   Hashtbl.fold (fun b c acc -> (b, float_of_int c *. 3600.0 /. bucket) :: acc) buckets []
-  |> List.sort compare
+  |> List.sort (Eutil.Order.pair Float.compare Float.compare)
 
 let config_dominance t =
   let counts = Hashtbl.create 64 in
@@ -69,7 +69,9 @@ let config_dominance t =
     t.intervals;
   let total = float_of_int (Array.length t.intervals) in
   Hashtbl.fold (fun k c acc -> (k, float_of_int c /. total) :: acc) counts []
-  |> List.sort (fun (k1, f1) (k2, f2) -> compare (-.f1, k1) (-.f2, k2))
+  |> List.sort
+       (Eutil.Order.by (fun (k, f) -> (f, k))
+          (Eutil.Order.pair (Eutil.Order.desc Float.compare) String.compare))
 
 let mean_power_percent t =
   Array.fold_left (fun acc iv -> acc +. iv.power_percent) 0.0 t.intervals

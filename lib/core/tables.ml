@@ -29,7 +29,7 @@ let make g entries =
 
 let graph t = t.g
 let find t o d = Hashtbl.find_opt t.table (o, d)
-let pairs t = Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort compare
+let pairs t = Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort Eutil.Order.int_pair
 let entries t = List.filter_map (fun (o, d) -> Hashtbl.find_opt t.table (o, d)) (pairs t)
 
 let paths e =

@@ -80,7 +80,7 @@ let sleeping_links g usable split paths =
           (fun l -> if usable l then links := l :: !links)
           (Topo.Path.links g paths.(i)))
     split;
-  List.sort_uniq compare !links
+  List.sort_uniq Int.compare !links
 
 let on_probe t ~origin ~dest ~now ~link_util ~link_usable =
   match Hashtbl.find_opt t.pairs (origin, dest) with

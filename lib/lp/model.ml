@@ -22,7 +22,15 @@ let var t ?(integer = false) ?ub name =
 
 let binary t name = var t ~integer:true ~ub:1.0 name
 
-let var_name t v = List.nth (List.rev t.names) v
+let var_name t v =
+  if v < 0 || v >= t.n then invalid_arg (Printf.sprintf "Model.var_name: unknown variable %d" v);
+  (* [names] is reversed, so walk to the mirrored position directly instead
+     of materialising List.rev per call. *)
+  let rec go i = function
+    | [] -> assert false
+    | x :: rest -> if i = 0 then x else go (i - 1) rest
+  in
+  go (t.n - 1 - v) t.names
 
 let constr t terms rel rhs = t.rows <- (terms, rel, rhs) :: t.rows
 
@@ -47,6 +55,12 @@ let to_simplex t =
 
 let n_vars t = t.n
 let n_constraints t = List.length t.rows
+
+(* Inspection hooks for the static-analysis layer (Check.Invariant). *)
+let var_names t = Array.of_list (List.rev t.names)
+let constraints t = List.rev t.rows
+let objective_terms t = t.obj
+let var_index (v : var) = v
 
 let solve ?max_nodes t =
   let lp = to_simplex t in

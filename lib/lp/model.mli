@@ -35,3 +35,19 @@ val solve : ?max_nodes:int -> t -> [ `Optimal of solution | `Infeasible | `Unbou
 
 val n_vars : t -> int
 val n_constraints : t -> int
+
+(** {2 Inspection}
+
+    Read-only views used by the [Check.Invariant] validators (duplicate
+    names, non-finite coefficients, inverted bounds). *)
+
+val var_names : t -> string array
+(** Variable names in creation order. *)
+
+val constraints : t -> (term list * Simplex.relation * float) list
+(** Rows in insertion order, including the rows created by [?ub]. *)
+
+val objective_terms : t -> term list option
+
+val var_index : var -> int
+(** Index of a variable into {!var_names}. *)

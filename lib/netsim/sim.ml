@@ -149,9 +149,11 @@ let compute_rates s =
     in
     Array.iteri (fun l r -> if r > 0.0 then s.last_loaded.(l) <- s.now) link_achieved;
     s.arc_offered <- offered;
-    s.pair_rates <- Hashtbl.fold (fun od r acc -> (od, r) :: acc) by_pair [] |> List.sort compare;
+    s.pair_rates <-
+      Hashtbl.fold (fun od r acc -> (od, r) :: acc) by_pair []
+      |> List.sort (Eutil.Order.pair Eutil.Order.int_pair Float.compare);
     s.link_achieved <- link_achieved;
-    s.wakes_wanted <- List.sort_uniq compare !wakes;
+    s.wakes_wanted <- List.sort_uniq Int.compare !wakes;
     s.cache_valid <- true
   end
 

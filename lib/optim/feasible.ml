@@ -87,7 +87,7 @@ let path_of t o d = Option.map fst (Hashtbl.find_opt t.placed (o, d))
 
 let flows t =
   Hashtbl.fold (fun (o, d) (_, v) acc -> (o, d, v) :: acc) t.placed []
-  |> List.sort compare
+  |> List.sort (Eutil.Order.triple Int.compare Int.compare Float.compare)
 
 let route_matrix t tm =
   List.for_all

@@ -57,7 +57,9 @@ let solve ?(margin = 1.0) ?(max_nodes = 200_000) ?(pin_link = fun _ -> false)
   done;
   for n = 0 to n_nodes - 1 do
     let incident =
-      Array.to_list (G.out_arcs g n) |> List.map (fun a -> (G.arc g a).G.link) |> List.sort_uniq compare
+      Array.to_list (G.out_arcs g n)
+      |> List.map (fun a -> (G.arc g a).G.link)
+      |> List.sort_uniq Int.compare
     in
     Lp.Model.constr m
       ((1.0, x.(n)) :: List.map (fun l -> (-1.0, y.(l))) incident)
@@ -78,6 +80,13 @@ let solve ?(margin = 1.0) ?(max_nodes = 200_000) ?(pin_link = fun _ -> false)
     @ Array.to_list (Array.mapi (fun l v -> (Power.Model.link_power power g l, v)) y)
   in
   Lp.Model.minimize m obj;
+  (* The simplex substrate silently misbehaves on NaN/infinite input, so
+     validate the constructed model before handing it over (the check is a
+     linear scan, negligible next to branch-and-bound). *)
+  (match Check.Finding.errors (Check.Invariant.check_model m) with
+  | [] -> ()
+  | errors ->
+      invalid_arg ("Formulation.solve: malformed LP model:\n" ^ Check.Finding.render errors));
   match Lp.Model.solve ~max_nodes m with
   | `Infeasible -> `Infeasible
   | `Unbounded -> `Infeasible (* power is nonnegative; cannot happen *)

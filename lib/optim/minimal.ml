@@ -59,7 +59,7 @@ let router_moves g power tm =
         let links =
           Array.to_list (Topo.Graph.out_arcs g n)
           |> List.map (fun a -> (Topo.Graph.arc g a).Topo.Graph.link)
-          |> List.sort_uniq compare
+          |> List.sort_uniq Int.compare
         in
         let gain =
           Power.Model.node_power power g n
@@ -67,12 +67,14 @@ let router_moves g power tm =
         in
         { links; gain } :: acc
       end)
-  |> List.sort (fun a b -> compare (-.a.gain, a.links) (-.b.gain, b.links))
+  |> List.sort (Eutil.Order.by (fun m -> (m.gain, m.links))
+                  (Eutil.Order.pair (Eutil.Order.desc Float.compare) (List.compare Int.compare)))
 
 let link_moves g power =
   Topo.Graph.fold_links g ~init:[] ~f:(fun acc l ->
       { links = [ l ]; gain = Power.Model.link_power power g l } :: acc)
-  |> List.sort (fun a b -> compare (-.a.gain, a.links) (-.b.gain, b.links))
+  |> List.sort (Eutil.Order.by (fun m -> (m.gain, m.links))
+                  (Eutil.Order.pair (Eutil.Order.desc Float.compare) (List.compare Int.compare)))
 
 let result_of g power f =
   let st = Feasible.state f in
@@ -103,7 +105,10 @@ let try_move g f reroute move =
           | Some p -> List.exists (fun l -> Topo.Path.uses_link g p l) relevant
           | None -> false)
         (Feasible.flows f)
-      |> List.sort (fun (o1, d1, v1) (o2, d2, v2) -> compare (-.v1, o1, d1) (-.v2, o2, d2))
+      |> List.sort
+           (Eutil.Order.by
+              (fun (o, d, v) -> (v, o, d))
+              (Eutil.Order.triple (Eutil.Order.desc Float.compare) Int.compare Int.compare))
     in
     let snap = Feasible.snapshot f in
     List.iter (fun (o, d, _) -> ignore (Feasible.remove f o d)) affected;

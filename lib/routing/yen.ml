@@ -65,7 +65,9 @@ let k_shortest g ?weight ?(active = fun _ -> true) ~src ~dst ~k () =
              done;
              match
                List.sort
-                 (fun (w1, p1) (w2, p2) -> compare (w1, p1.Topo.Path.arcs) (w2, p2.Topo.Path.arcs))
+                 (Eutil.Order.by
+                    (fun (w, p) -> (w, p.Topo.Path.arcs))
+                    (Eutil.Order.pair Float.compare (Eutil.Order.array Int.compare)))
                  !candidates
              with
              | [] -> raise Exit

@@ -47,4 +47,4 @@ let capacity_summary g =
       let c = Graph.link_capacity g l in
       Hashtbl.replace counts c (1 + Option.value (Hashtbl.find_opt counts c) ~default:0));
   Hashtbl.fold (fun c n acc -> (c, n) :: acc) counts []
-  |> List.sort (fun (c1, _) (c2, _) -> compare c2 c1)
+  |> List.sort (Eutil.Order.by fst (Eutil.Order.desc Float.compare))

@@ -59,8 +59,13 @@ let make () =
   let b = Graph.Builder.create () in
   let ids = Hashtbl.create 32 in
   Array.iter (fun p -> Hashtbl.add ids p (Graph.Builder.add_node b ~role:Pop p)) pops;
+  let node x =
+    match Hashtbl.find_opt ids x with
+    | Some i -> i
+    | None -> invalid_arg ("Geant.make: link references unknown PoP " ^ x)
+  in
   List.iter
     (fun (x, y, capacity, latency) ->
-      ignore (Graph.Builder.add_link b ~capacity ~latency (Hashtbl.find ids x) (Hashtbl.find ids y)))
+      ignore (Graph.Builder.add_link b ~capacity ~latency (node x) (node y)))
     links;
   Graph.Builder.build b

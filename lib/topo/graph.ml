@@ -36,7 +36,10 @@ let arc_count g = Array.length g.arcs
 let link_count g = Array.length g.links
 let name g n = g.names.(n)
 let role g n = g.roles.(n)
-let node_of_name g s = Hashtbl.find g.by_name s
+let node_of_name g s =
+  match Hashtbl.find_opt g.by_name s with
+  | Some n -> n
+  | None -> invalid_arg ("Graph.node_of_name: unknown node " ^ s)
 let arc g a = g.arcs.(a)
 let out_arcs g n = g.out_adj.(n)
 let in_arcs g n = g.in_adj.(n)
@@ -45,8 +48,11 @@ let link_endpoints g l = g.links.(l)
 
 let arcs_of_link g l =
   let i, j = g.links.(l) in
-  let a = Hashtbl.find g.by_ends (i, j) in
-  (a, g.arcs.(a).rev)
+  match Hashtbl.find_opt g.by_ends (i, j) with
+  | Some a -> (a, g.arcs.(a).rev)
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Graph.arcs_of_link: link %d (%s-%s) has no arc" l g.names.(i) g.names.(j))
 
 let link_capacity g l =
   let a, _ = arcs_of_link g l in

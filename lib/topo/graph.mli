@@ -40,7 +40,8 @@ val name : t -> int -> string
 val role : t -> int -> role
 
 val node_of_name : t -> string -> int
-(** Inverse of {!name}. @raise Not_found if absent. *)
+(** Inverse of {!name}.
+    @raise Invalid_argument naming the unknown node if absent. *)
 
 val arc : t -> int -> arc
 (** Arc by identifier. *)

@@ -38,7 +38,9 @@ let active g st p = Array.for_all (fun a -> State.arc_on g st a) p.arcs
 
 let equal a b = a.src = b.src && a.dst = b.dst && a.arcs = b.arcs
 
-let compare a b = Stdlib.compare (a.src, a.dst, a.arcs) (b.src, b.dst, b.arcs)
+let compare a b =
+  Eutil.Order.triple Int.compare Int.compare (Eutil.Order.array Int.compare) (a.src, a.dst, a.arcs)
+    (b.src, b.dst, b.arcs)
 
 let shares_link g a b =
   let la = links g a in

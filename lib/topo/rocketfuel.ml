@@ -66,7 +66,7 @@ let make spec =
     let candidates =
       List.init n (fun j -> j)
       |> List.filter (fun j -> j <> i && not (Hashtbl.mem have (min i j, max i j)))
-      |> List.sort (fun a b -> compare (dist pos.(i) pos.(a)) (dist pos.(i) pos.(b)))
+      |> List.sort (Eutil.Order.by (fun j -> dist pos.(i) pos.(j)) Float.compare)
     in
     let near = List.filteri (fun k _ -> k < 8) candidates in
     let weight j = float_of_int deg.(j) in
@@ -86,7 +86,7 @@ let make spec =
           incr added
     end
   done;
-  let pairs = Hashtbl.fold (fun k () acc -> k :: acc) have [] |> List.sort compare in
+  let pairs = Hashtbl.fold (fun k () acc -> k :: acc) have [] |> List.sort Eutil.Order.int_pair in
   List.iter
     (fun (i, j) ->
       let capacity = if deg.(i) < 7 || deg.(j) < 7 then 100e6 else 52e6 in

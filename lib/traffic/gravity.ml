@@ -32,7 +32,7 @@ let random_node_pairs g ~seed ~fraction =
   Array.to_list subset
   |> List.concat_map (fun o ->
          Array.to_list subset |> List.filter_map (fun d -> if o <> d then Some (o, d) else None))
-  |> List.sort compare
+  |> List.sort Eutil.Order.int_pair
 
 let random_pairs g ~seed ~fraction =
   let rng = Eutil.Prng.create seed in

@@ -72,8 +72,10 @@ let iter_flows t ~f =
       (* Deterministic (origin, destination) order. *)
       let keys = Hashtbl.fold (fun k v acc -> if v > 0.0 then k :: acc else acc) h [] in
       List.iter
-        (fun k -> f (k / t.n) (k mod t.n) (Hashtbl.find h k))
-        (List.sort compare keys)
+        (* Keys were folded out of [h] just above, so the lookup cannot
+           miss. *)
+        (fun k -> f (k / t.n) (k mod t.n) (Hashtbl.find h k) (* lint: allow hashtbl-find *))
+        (List.sort Int.compare keys)
 
 let fold_flows t ~init ~f =
   let acc = ref init in
@@ -83,7 +85,11 @@ let fold_flows t ~init ~f =
 let flows t = fold_flows t ~init:[] ~f:(fun acc o d v -> (o, d, v) :: acc) |> List.rev
 
 let flows_desc t =
-  flows t |> List.sort (fun (o1, d1, v1) (o2, d2, v2) -> compare (-.v1, o1, d1) (-.v2, o2, d2))
+  flows t
+  |> List.sort
+       (Eutil.Order.by
+          (fun (o, d, v) -> (v, o, d))
+          (Eutil.Order.triple (Eutil.Order.desc Float.compare) Int.compare Int.compare))
 
 let of_flows n l =
   let t = create n in

@@ -29,6 +29,11 @@ val iter_flows : t -> f:(int -> int -> float -> unit) -> unit
 
 val fold_flows : t -> init:'a -> f:('a -> int -> int -> float -> 'a) -> 'a
 
+val fold_values : t -> init:'a -> f:('a -> float -> 'a) -> 'a
+(** Folds over every stored value, including zero, negative, and non-finite
+    entries that {!iter_flows} skips — the raw view the [Check.Invariant]
+    validators need. *)
+
 val flows : t -> (int * int * float) list
 (** Positive demands as a list, in deterministic order. *)
 

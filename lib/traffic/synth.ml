@@ -36,7 +36,8 @@ let geant_like g ?(seed = 42) ?(days = 15) ?(interval = 900.0) ?(mean_utilisatio
         if i mod max 1 (int_of_float (3600.0 /. interval)) = 0 then
           List.iter
             (fun od ->
-              let w = Hashtbl.find walk od in
+              (* Every od of [pairs] is seeded into [walk] at creation. *)
+              let w = Hashtbl.find walk od in (* lint: allow hashtbl-find *)
               let w' = w *. Eutil.Prng.lognormal rng ~mu:0.0 ~sigma:(0.1 *. (0.3 +. (0.7 *. diurnal t))) in
               (* Mean reversion keeps shares bounded. *)
               Hashtbl.replace walk od (max 0.25 (min 4.0 (w' ** 0.97))))
@@ -44,7 +45,7 @@ let geant_like g ?(seed = 42) ?(days = 15) ?(interval = 900.0) ?(mean_utilisatio
         let m = Matrix.create (Topo.Graph.node_count g) in
         List.iter
           (fun (o, d) ->
-            let share = Matrix.get base o d *. Hashtbl.find walk (o, d) in
+            let share = Matrix.get base o d *. Hashtbl.find walk (o, d) in (* lint: allow hashtbl-find *)
             let noise = Eutil.Prng.lognormal rng ~mu:0.0 ~sigma:sigma_now in
             Matrix.add_to m o d (volume *. share *. noise))
           pairs;

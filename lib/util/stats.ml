@@ -15,7 +15,7 @@ let percentile xs p =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.percentile: empty";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   if n = 1 then sorted.(0)
   else begin
     let rank = p /. 100.0 *. float_of_int (n - 1) in

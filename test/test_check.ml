@@ -1,0 +1,259 @@
+(* Tests for the static-analysis layer (lib/check): every Srclint rule fires
+   on a seeded-violation fixture, the suppression pragmas work, the cleaner
+   does not report code hidden in strings/comments, and each Invariant
+   validator flags a forged bad value while accepting the healthy one. *)
+
+module F = Check.Finding
+module Lint = Check.Srclint
+module Inv = Check.Invariant
+module Graph = Topo.Graph
+module Path = Topo.Path
+
+let rule_ids fs = List.sort_uniq String.compare (List.map (fun f -> f.F.rule) fs)
+
+let lint src = Lint.lint_string ~file:"fixture.ml" src
+
+let fires rule src =
+  Alcotest.(check bool) (rule ^ " fires") true (F.has_rule rule (lint src))
+
+let lints_clean name src =
+  Alcotest.(check (list string)) (name ^ " is clean") [] (rule_ids (lint src))
+
+(* ------------------------------ Srclint ----------------------------- *)
+
+(* Lint fixtures live in strings: the linter blanks string literals, so the
+   violations below never trip the repo's own lint pass. *)
+
+let test_poly_compare () =
+  fires "poly-compare" "let sorted = List.sort compare xs\n";
+  fires "poly-compare" "let r = Stdlib.compare a b\n";
+  lints_clean "definition" "let compare a b = 0\n";
+  lints_clean "qualified" "let c = Float.compare a b\n";
+  lints_clean "labelled arg" "let s = sort ~compare xs\n"
+
+let test_obj_magic () =
+  fires "obj-magic" "let x = Obj.magic y\n";
+  lints_clean "in string" {|let s = "Obj.magic"
+|};
+  lints_clean "in comment" "(* Obj.magic is banned *)\nlet x = 1\n"
+
+let test_hashtbl_find () =
+  fires "hashtbl-find" "let v = Hashtbl.find h k\n";
+  lints_clean "find_opt" "let v = Hashtbl.find_opt h k\n"
+
+let test_catchall_try () =
+  fires "catchall-try" "let f () = try g () with _ -> 0\n";
+  lints_clean "named exception" "let f () = try g () with Not_found -> 0\n";
+  lints_clean "match wildcard" "let f x = match x with _ -> 0\n";
+  lints_clean "record with" "let r2 = { r with field = 1 }\n"
+
+let test_list_nth () =
+  fires "list-nth" "let x = List.nth l 3\n";
+  lints_clean "array access" "let x = a.(3)\n"
+
+let test_pragma_suppression () =
+  lints_clean "same line" "let v = Hashtbl.find h k (* lint: allow hashtbl-find *)\n";
+  lints_clean "preceding line" "(* lint: allow hashtbl-find *)\nlet v = Hashtbl.find h k\n";
+  lints_clean "allow all" "(* lint: allow all *)\nlet v = Hashtbl.find h (List.nth l 0)\n";
+  (* A pragma only covers the named rules. *)
+  let fs = lint "(* lint: allow list-nth *)\nlet v = Hashtbl.find h (List.nth l 0)\n" in
+  Alcotest.(check (list string)) "other rules still fire" [ "hashtbl-find" ] (rule_ids fs)
+
+let test_locations_and_severity () =
+  let fs = lint "let a = 1\nlet x = List.nth l 3\n" in
+  match fs with
+  | [ f ] ->
+      Alcotest.(check bool) "line 2" true (String.length f.F.where >= 12
+                                           && String.sub f.F.where 0 12 = "fixture.ml:2");
+      Alcotest.(check bool) "severity error" true (f.F.severity = F.Error)
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+let test_rules_catalogue () =
+  let ids = List.map fst Lint.rules in
+  Alcotest.(check int) "five lint rules" 5 (List.length ids);
+  List.iter
+    (fun id -> Alcotest.(check bool) (id ^ " listed") true (List.mem id ids))
+    [ "poly-compare"; "obj-magic"; "hashtbl-find"; "catchall-try"; "list-nth" ]
+
+let test_report_formats () =
+  let fs = lint "let x = Obj.magic y\n" in
+  let txt = F.render fs in
+  Alcotest.(check bool) "text mentions rule" true
+    (String.length txt > 0 && F.has_rule "obj-magic" fs);
+  let json = String.trim (F.to_json fs) in
+  Alcotest.(check bool) "json array" true
+    (String.length json >= 2 && json.[0] = '[' && json.[String.length json - 1] = ']')
+
+(* ----------------------------- Invariant ---------------------------- *)
+
+let ex = Topo.Example.make ()
+let g = ex.Topo.Example.graph
+
+let arc i j =
+  match Graph.find_arc g i j with
+  | Some a -> a
+  | None -> Alcotest.fail "fixture arc missing"
+
+(* Healthy always-on path A-E-H-K from the paper's Figure 3. *)
+let p_aek () =
+  Path.of_arcs g
+    [ arc ex.Topo.Example.a ex.Topo.Example.e;
+      arc ex.Topo.Example.e ex.Topo.Example.h;
+      arc ex.Topo.Example.h ex.Topo.Example.k ]
+
+(* The disjoint alternative A-D-G-K. *)
+let p_adk () =
+  Path.of_arcs g
+    [ arc ex.Topo.Example.a ex.Topo.Example.d;
+      arc ex.Topo.Example.d ex.Topo.Example.g;
+      arc ex.Topo.Example.g ex.Topo.Example.k ]
+
+let has rule fs = Alcotest.(check bool) (rule ^ " fires") true (F.has_rule rule fs)
+
+let no_findings name fs = Alcotest.(check (list string)) (name ^ " is clean") [] (rule_ids fs)
+
+let test_graph_clean () = no_findings "example graph" (Inv.check_graph g)
+
+let test_path_valid () =
+  no_findings "A-E-H-K"
+    (Inv.check_path g ~expect:(ex.Topo.Example.a, ex.Topo.Example.k) ~where:"p" (p_aek ()))
+
+let test_path_discontiguous () =
+  (* Arcs A->E then H->K: E and H do not chain. The record is forged
+     directly because Path.of_arcs would (rightly) refuse to build it. *)
+  let p =
+    { Path.src = ex.Topo.Example.a;
+      dst = ex.Topo.Example.k;
+      arcs = [| arc ex.Topo.Example.a ex.Topo.Example.e; arc ex.Topo.Example.h ex.Topo.Example.k |] }
+  in
+  has "path-discontiguous" (Inv.check_path g ~where:"p" p);
+  let out_of_range = { Path.src = 0; dst = 0; arcs = [| Graph.arc_count g + 7 |] } in
+  has "path-discontiguous" (Inv.check_path g ~where:"p" out_of_range)
+
+let test_path_endpoint () =
+  let p = p_aek () in
+  has "path-endpoint" (Inv.check_path g ~where:"p" { p with Path.dst = ex.Topo.Example.j });
+  (* Valid path, but installed for the wrong OD pair. *)
+  has "path-endpoint" (Inv.check_path g ~expect:(ex.Topo.Example.c, ex.Topo.Example.k) ~where:"p" p)
+
+let test_path_loop () =
+  (* A->E followed by E->A revisits A. *)
+  let p =
+    { Path.src = ex.Topo.Example.a;
+      dst = ex.Topo.Example.a;
+      arcs = [| arc ex.Topo.Example.a ex.Topo.Example.e; arc ex.Topo.Example.e ex.Topo.Example.a |] }
+  in
+  has "path-loop" (Inv.check_path g ~where:"p" p)
+
+let entry ?(on_demand = []) ?failover origin dest always_on =
+  { Inv.origin; dest; always_on; on_demand; failover }
+
+let test_table_coverage () =
+  let fs = Inv.check_tables g ~pairs:[ (ex.Topo.Example.a, ex.Topo.Example.k) ] [] in
+  has "table-coverage" fs;
+  Alcotest.(check bool) "coverage is an error" true (F.errors fs <> [])
+
+let test_table_duplicate_pair () =
+  let e = entry ex.Topo.Example.a ex.Topo.Example.k (p_aek ()) ~on_demand:[ p_adk () ] in
+  let e2 = { e with Inv.on_demand = [] } in
+  has "table-duplicate-pair" (Inv.check_tables g ~pairs:[] [ e; e2 ])
+
+let test_table_ondemand_dup () =
+  let p = p_adk () in
+  let e = entry ex.Topo.Example.a ex.Topo.Example.k (p_aek ()) ~on_demand:[ p; p ] in
+  has "table-ondemand-dup" (Inv.check_tables g ~pairs:[] [ e ])
+
+let test_table_failover_overlap () =
+  (* B's only exit is the link B-E, so every failover must reuse it: the
+     checker reports the overlap as a warning, not an error (§2.2 wants
+     disjointness but the topology does not admit it). *)
+  let b = Option.get ex.Topo.Example.b in
+  let always_on =
+    Path.of_arcs g
+      [ arc b ex.Topo.Example.e; arc ex.Topo.Example.e ex.Topo.Example.h;
+        arc ex.Topo.Example.h ex.Topo.Example.k ]
+  in
+  let failover =
+    Path.of_arcs g
+      [ arc b ex.Topo.Example.e; arc ex.Topo.Example.e ex.Topo.Example.c;
+        arc ex.Topo.Example.c ex.Topo.Example.f; arc ex.Topo.Example.f ex.Topo.Example.j;
+        arc ex.Topo.Example.j ex.Topo.Example.k ]
+  in
+  let fs = Inv.check_tables g ~pairs:[] [ entry b ex.Topo.Example.k always_on ~failover ] in
+  has "table-failover-overlap" fs;
+  Alcotest.(check (list string)) "overlap is only a warning" [] (rule_ids (F.errors fs));
+  (* A disjoint failover is silent. *)
+  let ok = entry ex.Topo.Example.a ex.Topo.Example.k (p_aek ()) ~failover:(p_adk ()) in
+  no_findings "disjoint failover" (Inv.check_tables g ~pairs:[] [ ok ])
+
+let test_lp_model () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.var m "x" in
+  let _dup = Lp.Model.var m "x" in
+  let _neg = Lp.Model.var m ~ub:(-2.0) "z" in
+  Lp.Model.constr m [ (Float.nan, x) ] Lp.Simplex.Le 1.0;
+  let fs = Inv.check_model m in
+  has "lp-duplicate-var" fs;
+  has "lp-bound" fs;
+  has "lp-nonfinite" fs;
+  let ok = Lp.Model.create () in
+  let a = Lp.Model.var ok ~ub:5.0 "a" in
+  Lp.Model.constr ok [ (1.0, a) ] Lp.Simplex.Ge 1.0;
+  Lp.Model.minimize ok [ (1.0, a) ];
+  no_findings "healthy model" (Inv.check_model ok)
+
+let test_traffic_matrix () =
+  let n = Graph.node_count g in
+  let bad = Traffic.Matrix.create n in
+  Traffic.Matrix.set bad ex.Topo.Example.a ex.Topo.Example.k (-3.0);
+  has "tm-negative" (Inv.check_matrix g bad);
+  has "tm-dimension" (Inv.check_matrix g (Traffic.Matrix.create (n + 1)));
+  no_findings "gravity matrix" (Inv.check_matrix g (Traffic.Gravity.make g ~total:1e6 ()))
+
+let test_power_model () =
+  let good = Power.Model.cisco12000 g in
+  no_findings "cisco model" (Inv.check_power good g);
+  let bad = { good with Power.Model.chassis = (fun _ -> -5.0) } in
+  has "power-monotone" (Inv.check_power bad g)
+
+(* Framework wiring: precompute validates its own tables when the flag is on
+   (the default) and still succeeds on a healthy topology. *)
+let test_framework_validates () =
+  Alcotest.(check bool) "checks on by default" true !Response.Framework.install_checks;
+  let pairs = [ (ex.Topo.Example.a, ex.Topo.Example.k); (ex.Topo.Example.c, ex.Topo.Example.k) ] in
+  let tables = Response.Framework.precompute g (Power.Model.cisco12000 g) ~pairs in
+  Alcotest.(check int) "entries cover pairs" (List.length pairs)
+    (List.length (Response.Tables.entries tables))
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "srclint",
+        [
+          Alcotest.test_case "poly-compare" `Quick test_poly_compare;
+          Alcotest.test_case "obj-magic" `Quick test_obj_magic;
+          Alcotest.test_case "hashtbl-find" `Quick test_hashtbl_find;
+          Alcotest.test_case "catchall-try" `Quick test_catchall_try;
+          Alcotest.test_case "list-nth" `Quick test_list_nth;
+          Alcotest.test_case "pragma suppression" `Quick test_pragma_suppression;
+          Alcotest.test_case "locations and severity" `Quick test_locations_and_severity;
+          Alcotest.test_case "rules catalogue" `Quick test_rules_catalogue;
+          Alcotest.test_case "report formats" `Quick test_report_formats;
+        ] );
+      ( "invariant",
+        [
+          Alcotest.test_case "graph clean" `Quick test_graph_clean;
+          Alcotest.test_case "path valid" `Quick test_path_valid;
+          Alcotest.test_case "path discontiguous" `Quick test_path_discontiguous;
+          Alcotest.test_case "path endpoint" `Quick test_path_endpoint;
+          Alcotest.test_case "path loop" `Quick test_path_loop;
+          Alcotest.test_case "table coverage" `Quick test_table_coverage;
+          Alcotest.test_case "table duplicate pair" `Quick test_table_duplicate_pair;
+          Alcotest.test_case "table on-demand dup" `Quick test_table_ondemand_dup;
+          Alcotest.test_case "table failover overlap" `Quick test_table_failover_overlap;
+          Alcotest.test_case "lp model" `Quick test_lp_model;
+          Alcotest.test_case "traffic matrix" `Quick test_traffic_matrix;
+          Alcotest.test_case "power model" `Quick test_power_model;
+          Alcotest.test_case "framework validates" `Quick test_framework_validates;
+        ] );
+    ]

@@ -254,7 +254,7 @@ let test_formulation_triangle () =
   | `Optimal e ->
       Alcotest.(check int) "one link" 1 (State.active_links e.Optim.Formulation.state);
       Alcotest.(check bool) "third router off" false (State.node_on e.Optim.Formulation.state 2);
-      let p = Hashtbl.find e.Optim.Formulation.routing (0, 1) in
+      let p = Hashtbl.find e.Optim.Formulation.routing (0, 1) in (* lint: allow hashtbl-find *)
       Alcotest.(check int) "direct" 1 (Path.hops p);
       (* 2 chassis + the direct link's port/amplifier power. *)
       let link = (G.arc g (arc_between g 0 1)).G.link in
@@ -345,7 +345,7 @@ let test_formulation_delay_bound () =
       g power tm
   with
   | `Optimal e ->
-      let p = Hashtbl.find e.Optim.Formulation.routing (0, 2) in
+      let p = Hashtbl.find e.Optim.Formulation.routing (0, 2) in (* lint: allow hashtbl-find *)
       Alcotest.(check int) "direct path under bound" 1 (Path.hops p)
   | _ -> Alcotest.fail "expected optimal"
 

@@ -120,7 +120,7 @@ let test_on_demand_stress_avoids_hot_links () =
       match Hashtbl.find_opt od od_pair with
       | Some (p :: _) ->
           incr total;
-          let ao_p = Hashtbl.find ao.Response.Always_on.paths od_pair in
+          let ao_p = Hashtbl.find ao.Response.Always_on.paths od_pair in (* lint: allow hashtbl-find *)
           if not (Path.equal p ao_p) then incr distinct
       | _ -> ())
     pairs;
@@ -140,7 +140,7 @@ let test_on_demand_ospf_matches_spf () =
       | Some [ p ], Some q -> Alcotest.(check bool) "same as spf" true (Path.equal p q)
       | Some [], Some q ->
           (* Deduplicated: the OSPF path coincides with the always-on path. *)
-          let ao_p = Hashtbl.find ao.Response.Always_on.paths od_pair in
+          let ao_p = Hashtbl.find ao.Response.Always_on.paths od_pair in (* lint: allow hashtbl-find *)
           Alcotest.(check bool) "dedup only when equal" true (Path.equal q ao_p)
       | _ -> Alcotest.fail "missing entry")
     pairs
@@ -186,7 +186,7 @@ let test_failover_disjoint_when_possible () =
   let protect = Hashtbl.create 1 in
   Hashtbl.replace protect (0, 2) [ ao ];
   let fo = Response.Failover.compute g ~protect ~pairs:[ (0, 2) ] in
-  let f = Hashtbl.find fo (0, 2) in
+  let f = Hashtbl.find fo (0, 2) in (* lint: allow hashtbl-find *)
   Alcotest.(check bool) "disjoint" false (Path.shares_link g f ao)
 
 let test_vulnerable_pairs () =
@@ -528,8 +528,8 @@ let test_replay_geant_day () =
   (* Coverage curve is monotone and reaches 100 with enough paths. *)
   let curve = Response.Critical_paths.coverage_curve r.Response.Replay.ranking ~max:6 in
   let values = List.map snd curve in
-  Alcotest.(check bool) "monotone" true (List.sort compare values = values);
-  Alcotest.(check bool) "high coverage with few paths" true (List.nth values 2 > 80.0)
+  Alcotest.(check bool) "monotone" true (List.sort Float.compare values = values);
+  Alcotest.(check bool) "high coverage with few paths" true (List.nth values 2 > 80.0) (* lint: allow list-nth *)
 
 let () =
   Alcotest.run "response"

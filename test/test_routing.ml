@@ -115,7 +115,7 @@ let test_delay_bounds () =
   let g = Topo.Geant.make () in
   let o = G.node_of_name g "PT" and d = G.node_of_name g "SE" in
   let bounds = Routing.Spf.delay_bound_table g ~pairs:[ (o, d) ] ~beta:0.25 in
-  let bound = Hashtbl.find bounds (o, d) in
+  let bound = Hashtbl.find bounds (o, d) in (* lint: allow hashtbl-find *)
   let ospf = Option.get (Routing.Spf.path g ~src:o ~dst:d ()) in
   Alcotest.(check (float 1e-12)) "1.25x ospf delay" (1.25 *. Path.latency g ospf) bound
 
@@ -125,7 +125,7 @@ let test_yen_basic () =
   Alcotest.(check int) "three distinct paths" 3 (List.length paths);
   (* Nondecreasing latency. *)
   let lats = List.map (Path.latency g) paths in
-  Alcotest.(check bool) "sorted" true (List.sort compare lats = lats);
+  Alcotest.(check bool) "sorted" true (List.sort Float.compare lats = lats);
   (* All distinct and loopless. *)
   let distinct = List.sort_uniq Path.compare paths in
   Alcotest.(check int) "distinct" 3 (List.length distinct);
@@ -133,7 +133,7 @@ let test_yen_basic () =
     (fun p ->
       let ns = Path.nodes g p in
       let sorted = Array.copy ns in
-      Array.sort compare sorted;
+      Array.sort Int.compare sorted;
       let dup = ref false in
       for i = 1 to Array.length sorted - 1 do
         if sorted.(i) = sorted.(i - 1) then dup := true
@@ -176,7 +176,7 @@ let prop_yen_sorted_distinct =
       let g = G.Builder.build b in
       let paths = Routing.Yen.k_shortest g ~src:0 ~dst:(n - 1) ~k:5 () in
       let lats = List.map (Path.latency g) paths in
-      List.sort compare lats = lats
+      List.sort Float.compare lats = lats
       && List.length (List.sort_uniq Path.compare paths) = List.length paths)
 
 let test_ecmp_enumerates_equal_cost () =

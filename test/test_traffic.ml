@@ -110,8 +110,8 @@ let test_random_node_pairs () =
     (pairs = Traffic.Gravity.random_node_pairs g ~seed:3 ~fraction:0.5);
   (* All pairs among a node subset: the set of endpoints is closed — every
      origin also appears as a destination and vice versa. *)
-  let origins = List.map fst pairs |> List.sort_uniq compare in
-  let dests = List.map snd pairs |> List.sort_uniq compare in
+  let origins = List.map fst pairs |> List.sort_uniq Int.compare in
+  let dests = List.map snd pairs |> List.sort_uniq Int.compare in
   Alcotest.(check (list int)) "closed endpoint set" origins dests;
   let n = List.length origins in
   Alcotest.(check int) "complete digraph on the subset" (n * (n - 1)) (List.length pairs);
@@ -202,7 +202,7 @@ let test_change_ccdf_monotone () =
   let tr = Traffic.Synth.google_dc_like ~n:3 ~pairs ~days:1 () in
   let ccdf = Traffic.Tstats.change_ccdf tr ~thresholds:[ 0.0; 20.0; 40.0; 80.0 ] in
   let values = List.map snd ccdf in
-  Alcotest.(check bool) "nonincreasing" true (List.sort (fun a b -> compare b a) values = values);
+  Alcotest.(check bool) "nonincreasing" true (List.sort (Eutil.Order.desc Float.compare) values = values);
   Alcotest.(check (float 1e-9)) "starts at 100" 100.0 (List.hd values)
 
 (* Property: gravity demands are symmetric in proportions — d(o,d)*w(x)*w(y)

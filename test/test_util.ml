@@ -41,7 +41,7 @@ let test_prng_sample_distinct () =
   let s = Prng.sample r 10 20 in
   Alcotest.(check int) "size" 10 (Array.length s);
   let sorted = Array.copy s in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   for i = 1 to 9 do
     Alcotest.(check bool) "distinct" true (sorted.(i) <> sorted.(i - 1))
   done
