@@ -22,7 +22,7 @@ let deploy () =
     (100.0 *. Response.Deploy.single_failure_coverage tables);
   subsection "memory-limited deployment (keep the most important tables)";
   row "  %-14s %-22s %s@." "tables/pair" "single-failure coverage" "carriable volume [Gbit/s]";
-  let base = Traffic.Gravity.make g ~pairs ~total:1e9 () in
+  let base = Traffic.Gravity.make g ~pairs ~total:(Eutil.Units.gbps 1.0) () in
   List.iter
     (fun n ->
       let t = if n >= Response.Tables.n_tables tables then tables
@@ -63,22 +63,27 @@ let sleep_states () =
   section "Element sleep states (Section 2.1.1): consolidation lengthens idle gaps";
   let states = [ Power.Sleep.lpi; Power.Sleep.nap; Power.Sleep.deep ] in
   row "  %-10s %-18s %-14s %s@." "state" "power fraction" "wake time" "break-even gap";
+  let module U = Eutil.Units in
   List.iter
     (fun s ->
-      row "  %-10s %-18.2f %-14s %s@." s.Power.Sleep.name s.Power.Sleep.power_fraction
-        (Printf.sprintf "%.0f us" (1e6 *. s.Power.Sleep.wake_time))
-        (Printf.sprintf "%.1f ms" (1e3 *. Power.Sleep.breakeven_gap s)))
+      row "  %-10s %-18.2f %-14s %s@." s.Power.Sleep.name
+        (U.to_float s.Power.Sleep.power_fraction)
+        (Printf.sprintf "%.0f us" (1e6 *. U.to_float s.Power.Sleep.wake_time))
+        (Printf.sprintf "%.1f ms" (1e3 *. U.to_float (Power.Sleep.breakeven_gap s))))
     states;
   subsection "per-link energy at 30% utilisation vs traffic shaping granularity";
   row "  %-22s %-22s %s@." "burst period" "energy [% of always-on]" "deepest state usable";
   List.iter
     (fun period ->
-      let busy = Power.Sleep.periodic_busy ~utilisation:0.3 ~period ~horizon:600.0 in
-      let sav = Power.Sleep.savings_percent ~active_power:100.0 ~states ~busy ~horizon:600.0 in
+      let busy = Power.Sleep.periodic_busy ~utilisation:(U.ratio 0.3) ~period ~horizon:600.0 in
+      let sav =
+        Power.Sleep.savings_percent ~active_power:(U.watts 100.0) ~states ~busy ~horizon:600.0
+      in
       let gap = (1.0 -. 0.3) *. period in
       let deepest =
         List.fold_left
-          (fun acc s -> if Power.Sleep.breakeven_gap s <= gap then s.Power.Sleep.name else acc)
+          (fun acc s ->
+            if U.to_float (Power.Sleep.breakeven_gap s) <= gap then s.Power.Sleep.name else acc)
           "none" states
       in
       row "  %-22s %-22.1f %s@."
@@ -254,8 +259,8 @@ let eate () =
   row "  %-16s %-16s %-14s %-14s %s@." "load [Gbit/s]" "EATe power [%]" "EATe rounds"
     "REsPoNse [%]" "optimal [%]";
   List.iter
-    (fun total ->
-      let tm = Traffic.Gravity.make g ~pairs ~total () in
+    (fun gbits ->
+      let tm = Traffic.Gravity.make g ~pairs ~total:(Eutil.Units.gbps gbits) () in
       let eate_r = Response.Eate.run g power tm in
       let rep = Response.Framework.evaluate tables power tm in
       let opt =
@@ -263,9 +268,9 @@ let eate () =
         | Some r -> r.Optim.Minimal.power_percent
         | None -> nan
       in
-      row "  %-16.0f %-16.1f %-14d %-14.1f %.1f@." (total /. 1e9)
+      row "  %-16.0f %-16.1f %-14d %-14.1f %.1f@." gbits
         eate_r.Response.Eate.power_percent eate_r.Response.Eate.rounds
         rep.Response.Framework.power_percent opt)
-    [ 2e9; 6e9; 12e9 ];
+    [ 2.0; 6.0; 12.0 ];
   note "EATe needs multi-round online coordination per demand change; REsPoNse";
   note "reaches comparable savings with one table lookup per probe"

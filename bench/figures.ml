@@ -6,6 +6,7 @@ module State = Topo.State
 module Path = Topo.Path
 module Matrix = Traffic.Matrix
 module Sim = Netsim.Sim
+module U = Eutil.Units
 open Report
 
 let all_pairs g =
@@ -124,8 +125,8 @@ let fig2b () =
   (* Generate at hourly granularity directly: a dense 648-node matrix per
      5-minute interval over 8 days would need gigabytes. *)
   let hourly =
-    Traffic.Synth.google_dc_like ~n:(G.node_count g) ~pairs:sample_pairs ~days ~interval:3600.0
-      ~peak:4e8 ()
+    Traffic.Synth.google_dc_like ~n:(G.node_count g) ~pairs:sample_pairs ~days
+      ~interval:(U.seconds 3600.0) ~peak:(U.mbps 400.0) ()
   in
   let ranking = Response.Critical_paths.create g in
   let solved = ref 0 in
@@ -149,7 +150,7 @@ let fattree_sim ft power locality ~peak =
   let g = ft.Topo.Fattree.graph in
   let pairs = Traffic.Sine.fattree_pairs ft locality in
   let tables = Response.Framework.precompute g power ~pairs in
-  let period = 20.0 in
+  let period = U.seconds 20.0 in
   let events =
     List.init 21 (fun i ->
         let t = float_of_int i in
@@ -158,7 +159,12 @@ let fattree_sim ft power locality ~peak =
   let config =
     {
       Sim.default_config with
-      Sim.te = { Response.Te.default_config with util_threshold = 0.8; shift_fraction = 0.5 };
+      Sim.te =
+        {
+          Response.Te.default_config with
+          util_threshold = U.ratio 0.8;
+          shift_fraction = U.ratio 0.5;
+        };
       sample_interval = 0.5;
       idle_timeout = 1.0;
       wake_time = 0.1;
@@ -170,8 +176,8 @@ let fig4 () =
   section "Figure 4 - power for sinusoidal traffic in a k=4 fat-tree";
   let ft = Topo.Fattree.make 4 in
   let power = Power.Model.commodity_dc ft.Topo.Fattree.graph in
-  let near = fattree_sim ft power Traffic.Sine.Near ~peak:4e8 in
-  let far = fattree_sim ft power Traffic.Sine.Far ~peak:4e8 in
+  let near = fattree_sim ft power Traffic.Sine.Near ~peak:(U.mbps 400.0) in
+  let far = fattree_sim ft power Traffic.Sine.Far ~peak:(U.mbps 400.0) in
   row "  %-8s %-10s %-18s %-18s@." "time" "ecmp [%]" "REsPoNse(near) [%]" "REsPoNse(far) [%]";
   Array.iteri
     (fun i sm ->
@@ -195,7 +201,7 @@ let geant_traffic_aware_tables power_model =
   let trace = Lazy.force geant_trace in
   let mean = Traffic.Trace.mean_total trace in
   let off_peak =
-    Traffic.Gravity.make g ~pairs ~total:(0.5 *. mean) ()
+    Traffic.Gravity.make g ~pairs ~total:(U.bps (0.5 *. mean)) ()
   in
   let peak = Traffic.Trace.peak trace in
   let config =
@@ -240,7 +246,7 @@ let max_feasible_total g pairs =
   (* The paper scales gravity demand up by 10% steps until the optimal
      routing cannot accommodate it; bisection does the same faster. *)
   let fits total =
-    let tm = Traffic.Gravity.make g ~pairs ~total () in
+    let tm = Traffic.Gravity.make g ~pairs ~total:(U.bps total) () in
     let f = Optim.Feasible.create g in
     Optim.Feasible.route_matrix f tm
   in
@@ -264,7 +270,7 @@ let fig6 () =
   kvf "topology" "%d PoPs, %d links" (G.node_count g) (G.link_count g);
   kvf "pairs" "%d" (List.length pairs);
   kvf "util-100 load" "%.2f Gbit/s" (max_total /. 1e9);
-  let tm_at pct = Traffic.Gravity.make g ~pairs ~total:(pct /. 100.0 *. max_total) () in
+  let tm_at pct = Traffic.Gravity.make g ~pairs ~total:(U.bps (pct /. 100.0 *. max_total)) () in
   let peak = tm_at 100.0 in
   let precompute config = Response.Framework.precompute ~config g power ~pairs in
   let rep_lat =
@@ -329,11 +335,11 @@ let fig7 () =
     {
       Sim.te =
         {
-          Response.Te.probe_period = 0.1;
-          util_threshold = 0.9;
-          low_threshold = 0.55;
-          hysteresis = 0.05;
-          shift_fraction = 1.0;
+          Response.Te.probe_period = U.seconds 0.1;
+          util_threshold = U.ratio 0.9;
+          low_threshold = U.ratio 0.55;
+          hysteresis = U.seconds 0.05;
+          shift_fraction = U.ratio 1.0;
         };
       wake_time = 0.01;
       failure_detection = 0.1;
@@ -387,11 +393,11 @@ let fig8_run ~tables ~power ~demands ~step ~duration =
     {
       Sim.te =
         {
-          Response.Te.probe_period = 0.1;
-          util_threshold = 0.85;
-          low_threshold = 0.4;
-          hysteresis = 0.5;
-          shift_fraction = 0.5;
+          Response.Te.probe_period = U.seconds 0.1;
+          util_threshold = U.ratio 0.85;
+          low_threshold = U.ratio 0.4;
+          hysteresis = U.seconds 0.5;
+          shift_fraction = U.ratio 0.5;
         };
       wake_time = 5.0;
       failure_detection = 0.1;
@@ -417,7 +423,7 @@ let fig8a () =
   let rng = Eutil.Prng.create 4 in
   let pairs = List.filter (fun _ -> Eutil.Prng.float rng < 0.4) pairs in
   let opt_total = max_feasible_total g pairs in
-  let tm_of total pct = Traffic.Gravity.make g ~pairs ~total:(pct *. total) () in
+  let tm_of total pct = Traffic.Gravity.make g ~pairs ~total:(U.bps (pct *. total)) () in
   let tables =
     Response.Framework.precompute
       ~config:
@@ -431,7 +437,7 @@ let fig8a () =
   (* util-100 = the largest gravity load the installed energy-critical paths
      accommodate (the optimal-routing bound is opt_total). *)
   let max_total =
-    Response.Framework.carried_fraction ~threshold:1.0 tables power
+    Response.Framework.carried_fraction ~threshold:(U.ratio 1.0) tables power
       ~base:(tm_of 1e9 1.0) ~max_level:10
     *. 1e9
   in
@@ -459,7 +465,8 @@ let fig8b () =
   let tables = Response.Framework.precompute g power ~pairs in
   let demands =
     List.init 10 (fun i ->
-        Traffic.Sine.fattree ft Traffic.Sine.Far ~peak:4e8 ~period:300.0
+        Traffic.Sine.fattree ft Traffic.Sine.Far ~peak:(U.mbps 400.0)
+          ~period:(U.seconds 300.0)
           (float_of_int i *. 30.0))
   in
   let r = fig8_run ~tables ~power ~demands ~step:30.0 ~duration:300.0 in
@@ -517,7 +524,7 @@ let streaming_scenario ~n_clients ~duration =
 let streaming_config =
   {
     Sim.default_config with
-    Sim.te = { Response.Te.default_config with probe_period = 0.2 };
+    Sim.te = { Response.Te.default_config with probe_period = U.seconds 0.2 };
     sample_interval = 0.25;
     idle_timeout = 10.0;
   }
@@ -570,7 +577,7 @@ let latency () =
   (* Both systems carry the same background demand, each routed its own way:
      REsPoNse consolidates it on fewer links, so web transfers see less
      residual bandwidth there — the mechanism behind the paper's ~9 %. *)
-  let background = Traffic.Gravity.make g ~pairs:(all_pairs g) ~total:0.6e9 () in
+  let background = Traffic.Gravity.make g ~pairs:(all_pairs g) ~total:(U.mbps 600.0) () in
   let run tables =
     let loads = Response.Framework.loads tables background in
     let util a = loads.(a) /. (G.arc g a).G.capacity in
@@ -602,7 +609,7 @@ let capacity () =
              (Hashtbl.find_opt spf (o, d)))
          pairs)
   in
-  let base = Traffic.Gravity.make g ~pairs ~total:1e9 () in
+  let base = Traffic.Gravity.make g ~pairs ~total:(U.gbps 1.0) () in
   let ao = Response.Framework.carried_fraction tables power ~base ~max_level:0 in
   let ospf = Response.Framework.carried_fraction invcap power ~base ~max_level:0 in
   let all = Response.Framework.carried_fraction tables power ~base ~max_level:10 in
@@ -652,21 +659,21 @@ let ablations () =
     (fun n ->
       let config = { Response.Framework.default with n_paths = max 2 n } in
       let tables = Response.Framework.precompute ~config g power ~pairs in
-      let base = Traffic.Gravity.make g ~pairs ~total:1e9 () in
+      let base = Traffic.Gravity.make g ~pairs ~total:(U.gbps 1.0) () in
       let carried =
         Response.Framework.carried_fraction tables power ~base ~max_level:(n - 1)
       in
-      let tm = Traffic.Gravity.make g ~pairs ~total:mean () in
+      let tm = Traffic.Gravity.make g ~pairs ~total:(U.bps mean) () in
       let e = Response.Framework.evaluate tables power tm in
       row "  %-6d %-22.1f %-14.1f@." n carried e.Response.Framework.power_percent)
     [ 2; 3; 4; 5 ];
   subsection "REsPoNseTE utilisation threshold vs power and congestion";
   let tables = geant_traffic_aware_tables power in
-  let tm = Traffic.Gravity.make g ~pairs ~total:(1.5 *. mean) () in
+  let tm = Traffic.Gravity.make g ~pairs ~total:(U.bps (1.5 *. mean)) () in
   row "  %-12s %-12s %-12s %s@." "threshold" "power [%]" "max util" "congested pairs";
   List.iter
     (fun thr ->
-      let e = Response.Framework.evaluate ~threshold:thr tables power tm in
+      let e = Response.Framework.evaluate ~threshold:(U.ratio thr) tables power tm in
       row "  %-12.2f %-12.1f %-12.2f %d@." thr e.Response.Framework.power_percent
         e.Response.Framework.max_utilization
         (List.length e.Response.Framework.congested))
@@ -716,11 +723,11 @@ let ablations () =
         {
           Sim.te =
             {
-              Response.Te.probe_period = t_probe;
-              util_threshold = 0.9;
-              low_threshold = 0.55;
-              hysteresis = t_probe /. 2.0;
-              shift_fraction = 1.0;
+              Response.Te.probe_period = U.seconds t_probe;
+              util_threshold = U.ratio 0.9;
+              low_threshold = U.ratio 0.55;
+              hysteresis = U.seconds (t_probe /. 2.0);
+              shift_fraction = U.ratio 1.0;
             };
           wake_time = 0.01;
           failure_detection = 0.1;

@@ -14,7 +14,7 @@ let pairs =
   |> List.concat_map (fun o ->
          Array.to_list nodes |> List.filter_map (fun d -> if o <> d then Some (o, d) else None))
 
-let tm = Traffic.Gravity.make geant ~total:20e9 ()
+let tm = Traffic.Gravity.make geant ~total:(Eutil.Units.bps 20e9) ()
 
 let tables = lazy (Response.Framework.precompute geant geant_power ~pairs)
 

@@ -89,7 +89,7 @@ let topo_cmd =
         let power = power_of t g in
         Format.printf "%s: %a@." t.tname Topo.Graph.pp g;
         Format.printf "full power: %.2f kW (%s)@."
-          (Power.Model.full power g /. 1e3)
+          (Eutil.Units.to_float (Power.Model.full power g) /. 1e3)
           power.Power.Model.description;
         let by_role = Hashtbl.create 8 in
         Topo.Graph.fold_nodes g ~init:() ~f:(fun () n ->
@@ -143,7 +143,7 @@ let power_cmd =
         let power = power_of t g in
         let pairs = pairs_of g ~seed ~fraction in
         let tables = Response.Framework.precompute g power ~pairs in
-        let tm = Traffic.Gravity.make g ~pairs ~total:(load *. 1e9) () in
+        let tm = Traffic.Gravity.make g ~pairs ~total:(Eutil.Units.gbps load) () in
         let e = Response.Framework.evaluate tables power tm in
         Format.printf "offered load:     %.2f Gbit/s@." load;
         Format.printf "network power:    %.1f%% of full (%.2f kW)@."
@@ -235,6 +235,42 @@ let lint_cmd =
   let doc = "Lint the OCaml sources for banned patterns (Check.Srclint)." in
   Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ dirs_arg $ json_arg $ rules_arg)
 
+(* ------------------------------ analyze ----------------------------- *)
+
+let analyze_cmd =
+  let dirs_arg =
+    let doc =
+      "Files or directories to analyze (default: lib bin — the shipped tree; tests and benches \
+       legitimately use literal expectations)."
+    in
+    Arg.(value & pos_all string [ "lib"; "bin" ] & info [] ~docv:"PATH" ~doc)
+  in
+  let rules_arg = Arg.(value & flag & info [ "rules" ] ~doc:"List the analysis rules and exit.") in
+  let run dirs json list_rules =
+    if list_rules then begin
+      List.iter (fun (id, doc) -> Format.printf "%-14s %s@." id doc) Check.Flow.rules;
+      0
+    end
+    else begin
+      match List.filter (fun p -> not (Sys.file_exists p)) dirs with
+      | p :: _ ->
+          Format.eprintf "analyze: no such path %s@." p;
+          2
+      | [] -> (
+          let findings = Check.Flow.analyze_paths dirs in
+          report_findings ~json findings;
+          match findings with
+          | [] ->
+              if not json then Format.printf "analyze: clean@.";
+              0
+          | fs ->
+              if not json then Format.printf "analyze: %d finding(s)@." (List.length fs);
+              1)
+    end
+  in
+  let doc = "Numeric-safety dataflow analysis of the OCaml sources (Check.Flow)." in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ dirs_arg $ json_arg $ rules_arg)
+
 (* ------------------------------- check ------------------------------ *)
 
 let check_cmd =
@@ -265,7 +301,7 @@ let check_cmd =
               })
             (Response.Tables.entries tables)
         in
-        let tm = Traffic.Gravity.make g ~pairs ~total:1e9 () in
+        let tm = Traffic.Gravity.make g ~pairs ~total:(Eutil.Units.gbps 1.0) () in
         let findings =
           Check.Invariant.check_graph g
           @ Check.Invariant.check_power power g
@@ -317,4 +353,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ topo_cmd; tables_cmd; power_cmd; replay_cmd; export_cmd; lint_cmd; check_cmd ]))
+          [
+            topo_cmd; tables_cmd; power_cmd; replay_cmd; export_cmd; lint_cmd; analyze_cmd;
+            check_cmd;
+          ]))

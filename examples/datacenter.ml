@@ -10,16 +10,22 @@ let simulate ft power locality =
   let g = ft.Topo.Fattree.graph in
   let pairs = Traffic.Sine.fattree_pairs ft locality in
   let tables = Response.Framework.precompute g power ~pairs in
-  let period = 20.0 in
+  let module U = Eutil.Units in
+  let period = U.seconds 20.0 in
   let events =
     List.init 21 (fun i ->
         let t = float_of_int i in
-        Sim.Set_demand (t, Traffic.Sine.fattree ft locality ~peak:4e8 ~period t))
+        Sim.Set_demand (t, Traffic.Sine.fattree ft locality ~peak:(U.mbps 400.0) ~period t))
   in
   let config =
     {
       Sim.default_config with
-      Sim.te = { Response.Te.default_config with util_threshold = 0.8; shift_fraction = 0.5 };
+      Sim.te =
+        {
+          Response.Te.default_config with
+          util_threshold = U.ratio 0.8;
+          shift_fraction = U.ratio 0.5;
+        };
       sample_interval = 0.5;
       idle_timeout = 1.0;
       wake_time = 0.1;

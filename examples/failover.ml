@@ -33,13 +33,14 @@ let () =
   let config =
     {
       Sim.te =
-        {
-          Response.Te.probe_period = 0.1;
-          util_threshold = 0.9;
-          low_threshold = 0.55;
-          hysteresis = 0.05;
-          shift_fraction = 1.0;
-        };
+        (let module U = Eutil.Units in
+         {
+           Response.Te.probe_period = U.seconds 0.1;
+           util_threshold = U.ratio 0.9;
+           low_threshold = U.ratio 0.55;
+           hysteresis = U.seconds 0.05;
+           shift_fraction = U.ratio 1.0;
+         });
       wake_time = 0.01;
       failure_detection = 0.1;
       idle_timeout = 0.3;

@@ -3,12 +3,15 @@
 
      dune exec examples/quickstart.exe *)
 
+module U = Eutil.Units
+
 let () =
   (* 1. A topology and a power model. *)
   let g = Topo.Geant.make () in
   let power = Power.Model.cisco12000 g in
   Format.printf "Topology: %a@." Topo.Graph.pp g;
-  Format.printf "Full-power consumption: %.1f kW@." (Power.Model.full power g /. 1e3);
+  Format.printf "Full-power consumption: %.1f kW@."
+    (U.to_float (Power.Model.full power g) /. 1e3);
 
   (* 2. Precompute the three routing tables (always-on, on-demand, failover)
      for a random subset of origin-destination pairs, exactly once. With
@@ -16,8 +19,8 @@ let () =
      computed from the off-peak matrix and the on-demand paths from the peak
      matrix; without them, use the demand-oblivious default config. *)
   let pairs = Traffic.Gravity.random_pairs g ~seed:7 ~fraction:0.5 in
-  let off_peak = Traffic.Gravity.make g ~pairs ~total:8e9 () in
-  let peak = Traffic.Gravity.make g ~pairs ~total:40e9 () in
+  let off_peak = Traffic.Gravity.make g ~pairs ~total:(U.gbps 8.0) () in
+  let peak = Traffic.Gravity.make g ~pairs ~total:(U.gbps 40.0) () in
   let config =
     {
       Response.Framework.default with
@@ -45,14 +48,14 @@ let () =
      for increasing gravity-model demand. *)
   Format.printf "@.%-14s %-12s %-10s %s@." "load" "power [%]" "levels" "max util";
   List.iter
-    (fun total ->
-      let tm = Traffic.Gravity.make g ~pairs ~total () in
+    (fun gbits ->
+      let tm = Traffic.Gravity.make g ~pairs ~total:(U.gbps gbits) () in
       let e = Response.Framework.evaluate tables power tm in
       Format.printf "%-14s %-12.1f %-10d %.2f@."
-        (Printf.sprintf "%.0f Gbit/s" (total /. 1e9))
+        (Printf.sprintf "%.0f Gbit/s" gbits)
         e.Response.Framework.power_percent e.Response.Framework.levels_activated
         e.Response.Framework.max_utilization)
-    [ 1e9; 5e9; 10e9; 20e9; 40e9; 80e9 ];
+    [ 1.0; 5.0; 10.0; 20.0; 40.0; 80.0 ];
   Format.printf
     "@.The network sleeps what it does not use: power follows load without@.\
      recomputing any routing table.@."

@@ -55,7 +55,8 @@ let () =
   let config =
     {
       Netsim.Sim.default_config with
-      Netsim.Sim.te = { Response.Te.default_config with probe_period = 0.2 };
+      Netsim.Sim.te =
+        { Response.Te.default_config with probe_period = Eutil.Units.seconds 0.2 };
       sample_interval = 0.25;
       idle_timeout = 5.0;
     }

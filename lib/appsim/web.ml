@@ -51,7 +51,8 @@ let run g ~path_of ~background_util ~clients cfg =
                   min acc free)
                 infinity p.Topo.Path.arcs
             in
-            (2.0 *. rtt) +. cfg.server_time +. (size *. 8.0 /. residual))
+            if residual <= 0.0 then infinity
+            else (2.0 *. rtt) +. cfg.server_time +. (size *. 8.0 /. residual))
   in
   let finite = Array.of_list (List.filter (fun x -> x < infinity) (Array.to_list latencies)) in
   {

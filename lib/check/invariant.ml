@@ -248,13 +248,13 @@ let check_power power g =
   let fs = ref [] in
   let add where msg = fs := Finding.v ~rule:"power-monotone" ~where msg :: !fs in
   G.fold_nodes g ~init:() ~f:(fun () i ->
-      let w = Power.Model.node_power power g i in
+      let w = Eutil.Units.to_float (Power.Model.node_power power g i) in
       if (not (finite w)) || w < 0.0 then
         add
           (Printf.sprintf "node %s" (node_name g i))
           (Printf.sprintf "chassis power %g W; total power would not be monotone" w));
   G.iter_links g ~f:(fun l ->
-      let w = Power.Model.link_power power g l in
+      let w = Eutil.Units.to_float (Power.Model.link_power power g l) in
       if (not (finite w)) || w < 0.0 then begin
         let x, y = G.link_endpoints g l in
         add

@@ -124,8 +124,12 @@ let clean source =
       blank_step ();
       skip_string_body (fun _ -> ())
     end
-    else if c = '{' && !i + 1 < n && (source.[!i + 1] = '|' || is_lower source.[!i + 1]) then begin
-      (* Possible quoted string {id|...|id}. *)
+    else if
+      c = '{' && !i + 1 < n
+      && (source.[!i + 1] = '|' || is_lower source.[!i + 1] || source.[!i + 1] = '_')
+    then begin
+      (* Possible quoted string {id|...|id}; the delimiter id is lowercase
+         letters and underscores (so [{_|...|_}] is legal too). *)
       let j = ref (!i + 1) in
       while !j < n && (is_lower source.[!j] || source.[!j] = '_') do
         incr j
@@ -155,9 +159,12 @@ let clean source =
     else if c = '\'' then begin
       line_has_code := true;
       if !i + 1 < n && source.[!i + 1] = '\\' then begin
-        (* Escaped char literal: '\n', '\\', '\123', '\xFF'. *)
+        (* Escaped char literal: '\n', '\\', '\123', '\xFF'. The character
+           after the backslash is consumed unconditionally so that '\'' does
+           not mistake its escaped quote for the terminator. *)
         blank_step ();
         blank_step ();
+        if !i < n then blank_step ();
         while !i < n && source.[!i] <> '\'' do
           blank_step ()
         done;
@@ -228,13 +235,31 @@ let tokenize text =
       toks := { t = String.sub text start (!i - start); tline = !line; tcol = col } :: !toks
     end
     else if is_digit c then begin
+      let start = !i in
+      let col = start - !bol + 1 in
       incr i;
-      while !i < n && is_number_char text.[!i] do
+      while
+        !i < n
+        && (is_number_char text.[!i]
+           || (* exponent sign: 1e-9, 2.5E+9 *)
+           ((text.[!i] = '+' || text.[!i] = '-')
+           && (text.[!i - 1] = 'e' || text.[!i - 1] = 'E')
+           && !i + 1 < n
+           && is_digit text.[!i + 1]))
+      do
         incr i
-      done
+      done;
+      (* int-literal width suffixes: 32l, 64L, 1n *)
+      if !i < n && (text.[!i] = 'l' || text.[!i] = 'L' || text.[!i] = 'n') then incr i;
+      toks := { t = String.sub text start (!i - start); tline = !line; tcol = col } :: !toks
     end
-    else if c = '-' && !i + 1 < n && text.[!i + 1] = '>' then begin
-      toks := { t = "->"; tline = !line; tcol = !i - !bol + 1 } :: !toks;
+    else if
+      !i + 1 < n
+      && List.mem (String.sub text !i 2)
+           [ "->"; "<-"; "/."; "*."; "+."; "-."; "<="; ">="; "<>"; "**"; ":="; "::"; "|>"; "||";
+             "&&"; "@@"; "=="; "!=" ]
+    then begin
+      toks := { t = String.sub text !i 2; tline = !line; tcol = !i - !bol + 1 } :: !toks;
       i := !i + 2
     end
     else begin
@@ -308,13 +333,16 @@ let scan_tokens toks =
     toks;
   List.rev !out
 
+let suppressed cleaned ~rule ~line =
+  let allowed = Option.value (Hashtbl.find_opt cleaned.pragmas line) ~default:[] in
+  List.mem rule allowed || List.mem "all" allowed
+
 let lint_string ~file source =
-  let { text; pragmas } = clean source in
-  let raw = scan_tokens (tokenize text) in
+  let cleaned = clean source in
+  let raw = scan_tokens (tokenize cleaned.text) in
   List.filter_map
     (fun r ->
-      let allowed = Option.value (Hashtbl.find_opt pragmas r.rline) ~default:[] in
-      if List.mem r.rule allowed || List.mem "all" allowed then None
+      if suppressed cleaned ~rule:r.rule ~line:r.rline then None
       else
         Some
           (Finding.v ~rule:r.rule ~where:(Printf.sprintf "%s:%d:%d" file r.rline r.rcol) r.msg))
@@ -344,6 +372,6 @@ let rec collect acc path =
   else if is_source path then path :: acc
   else acc
 
-let lint_paths paths =
-  let files = List.fold_left collect [] paths |> List.rev in
-  List.concat_map lint_file files
+let source_files paths = List.fold_left collect [] paths |> List.rev
+
+let lint_paths paths = List.concat_map lint_file (source_files paths)

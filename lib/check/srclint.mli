@@ -21,6 +21,38 @@
 val rules : (string * string) list
 (** [(id, description)] for every lint rule, for [--help]-style listings. *)
 
+(** {1 Lexer}
+
+    The two front-end passes are exposed so that other token-stream analyses
+    ({!Flow}) share one OCaml lexer instead of re-implementing comment,
+    string, and literal handling. *)
+
+type cleaned = { text : string; pragmas : (int, string list) Hashtbl.t }
+(** Source with comments/strings/char literals blanked to spaces (newlines
+    and byte offsets preserved) plus the harvested suppression pragmas,
+    keyed by line number. *)
+
+val clean : string -> cleaned
+
+val suppressed : cleaned -> rule:string -> line:int -> bool
+(** Whether a [(* lint: allow <rule> ... *)] pragma (or [allow all]) covers
+    [rule] on [line]. *)
+
+type tok = { t : string; tline : int; tcol : int }
+(** One token of cleaned source: an identifier (dotted paths joined, e.g.
+    ["Hashtbl.find"]), a number literal with its spelling preserved (e.g.
+    ["2.5e9"]), a two-character operator (["/."], ["<>"], ...), or a single
+    punctuation character. *)
+
+val tokenize : string -> tok array
+(** Tokenizes cleaned text; positions are 1-based line/column. *)
+
+val read_file : string -> string
+
+val source_files : string list -> string list
+(** Every [.ml]/[.mli] under the given files/directories (recursively),
+    skipping entries whose basename starts with ['.'] or ['_']. *)
+
 val lint_string : file:string -> string -> Finding.t list
 (** Lints source text; [file] is used only for locations. *)
 

@@ -1,3 +1,5 @@
+module U = Eutil.Units
+
 type mode = Oblivious | Epsilon | Off_peak of Traffic.Matrix.t
 
 type result = {
@@ -9,8 +11,10 @@ type result = {
    activate. *)
 let activation_power g power state p =
   Array.fold_left
-    (fun acc l -> if Topo.State.link_on state l then acc else acc +. Power.Model.link_power power g l)
-    0.0 (Topo.Path.links g p)
+    (fun acc l ->
+      if Topo.State.link_on state l then acc
+      else U.( +: ) acc (Power.Model.link_power power g l))
+    U.zero (Topo.Path.links g p)
 
 let repair_latency g power state bounds paths pairs =
   List.iter
@@ -36,7 +40,8 @@ let repair_latency g power state bounds paths pairs =
       | _ -> ())
     pairs
 
-let compute ?(margin = 1.0) ?(mode = Oblivious) ?latency_beta g power ~pairs () =
+let compute ?margin ?(mode = Oblivious) ?latency_beta g power ~pairs () =
+  let margin = match margin with Some m -> m | None -> U.ratio 1.0 in
   let tm =
     match mode with
     | Oblivious ->
@@ -50,7 +55,7 @@ let compute ?(margin = 1.0) ?(mode = Oblivious) ?latency_beta g power ~pairs () 
           List.concat_map (fun (o, d) -> [ o; d ]) pairs |> List.sort_uniq Int.compare
         in
         let injection = List.fold_left (fun acc n -> acc +. w.(n)) 0.0 endpoints in
-        Traffic.Gravity.make g ~pairs ~total:(0.05 *. injection) ()
+        Traffic.Gravity.make g ~pairs ~total:(U.bps (0.05 *. injection)) ()
     | Epsilon ->
         (* "one can set all flows equal to a small value epsilon (e.g. 1
            bit/s) to obtain a minimal-power routing with full connectivity" *)

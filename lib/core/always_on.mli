@@ -25,7 +25,7 @@ type result = {
 }
 
 val compute :
-  ?margin:float ->
+  ?margin:Eutil.Units.ratio Eutil.Units.q ->
   ?mode:mode ->
   ?latency_beta:float ->
   Topo.Graph.t ->

@@ -1,3 +1,5 @@
+module U = Eutil.Units
+
 type result = {
   loads : float array;
   state : Topo.State.t;
@@ -6,7 +8,8 @@ type result = {
   max_utilization : float;
 }
 
-let run ?(k = 3) ?(threshold = 0.9) ?(max_rounds = 50) g power tm =
+let run ?(k = 3) ?threshold ?(max_rounds = 50) g power tm =
+  let threshold = U.to_float (match threshold with Some t -> t | None -> U.ratio 0.9) in
   let pairs = Traffic.Matrix.pairs tm in
   let candidates = Optim.Greente.candidate_table g ~k ~pairs () in
   let n_arcs = Topo.Graph.arc_count g in

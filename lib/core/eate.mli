@@ -20,7 +20,7 @@ type result = {
 
 val run :
   ?k:int ->
-  ?threshold:float ->
+  ?threshold:Eutil.Units.ratio Eutil.Units.q ->
   ?max_rounds:int ->
   Topo.Graph.t ->
   Power.Model.t ->

@@ -1,3 +1,5 @@
+module U = Eutil.Units
+
 type variant =
   | Solver of Traffic.Matrix.t
   | Stress of float
@@ -5,7 +7,7 @@ type variant =
   | Heuristic of Traffic.Matrix.t
 
 type config = {
-  margin : float;
+  margin : U.ratio U.q;
   n_paths : int;
   latency_beta : float option;
   always_on_mode : Always_on.mode;
@@ -14,7 +16,7 @@ type config = {
 
 let default =
   {
-    margin = 1.0;
+    margin = U.ratio 1.0;
     n_paths = 3;
     latency_beta = None;
     always_on_mode = Always_on.Oblivious;
@@ -108,7 +110,8 @@ let path_util_with g loads p demand =
       max acc ((loads.(a) +. demand) /. arc.Topo.Graph.capacity))
     0.0 p.Topo.Path.arcs
 
-let place_flows ?(threshold = 0.9) ?max_level tables tm =
+let place_flows ?threshold ?max_level tables tm =
+  let threshold = U.to_float (match threshold with Some t -> t | None -> U.ratio 0.9) in
   let g = Tables.graph tables in
   let loads = Array.make (Topo.Graph.arc_count g) 0.0 in
   let levels = ref 0 in
@@ -157,9 +160,9 @@ let place_flows ?(threshold = 0.9) ?max_level tables tm =
     (Traffic.Matrix.flows_desc tm);
   (loads, !levels, List.rev !congested, !placed)
 
-let evaluate ?(threshold = 0.9) tables power tm =
+let evaluate ?threshold tables power tm =
   let g = Tables.graph tables in
-  let loads, levels_activated, congested, _ = place_flows ~threshold tables tm in
+  let loads, levels_activated, congested, _ = place_flows ?threshold tables tm in
   let link_load l =
     let a1, a2 = Topo.Graph.arcs_of_link g l in
     loads.(a1) +. loads.(a2)
@@ -171,28 +174,31 @@ let evaluate ?(threshold = 0.9) tables power tm =
   in
   {
     state;
-    power_watts = Power.Model.total power g state;
+    power_watts = U.to_float (Power.Model.total power g state);
     power_percent = Power.Model.percent_of_full power g state;
     max_utilization;
     levels_activated;
     congested;
   }
 
-let loads ?(threshold = 0.9) tables tm =
-  let loads, _, _, _ = place_flows ~threshold tables tm in
+let loads ?threshold tables tm =
+  let loads, _, _, _ = place_flows ?threshold tables tm in
   loads
 
-let carried_fraction ?(threshold = 0.9) tables _power ~base ~max_level =
+let carried_fraction ?threshold tables _power ~base ~max_level =
   let fits scale =
     let tm = Traffic.Matrix.scale base scale in
-    let _, _, congested, _ = place_flows ~threshold ~max_level tables tm in
+    let _, _, congested, _ = place_flows ?threshold ~max_level tables tm in
     congested = []
   in
-  if not (fits 1e-6) then 0.0
+  (* Search window for the feasible demand scale: six orders of magnitude
+     either side of the base matrix. *)
+  let scale_min = 1e-6 and scale_max = 1e6 in
+  if not (fits scale_min) then 0.0
   else begin
     (* Exponential search then bisection on the feasible scale. *)
-    let hi = ref 1e-6 in
-    while fits (2.0 *. !hi) && !hi < 1e6 do
+    let hi = ref scale_min in
+    while fits (2.0 *. !hi) && !hi < scale_max do
       hi := 2.0 *. !hi
     done;
     let lo = ref !hi and hi = ref (2.0 *. !hi) in

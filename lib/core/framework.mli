@@ -16,7 +16,7 @@ type variant =
   | Heuristic of Traffic.Matrix.t  (** REsPoNse-heuristic (GreenTE) *)
 
 type config = {
-  margin : float;  (** safety margin sm on link capacities *)
+  margin : Eutil.Units.ratio Eutil.Units.q;  (** safety margin sm on link capacities *)
   n_paths : int;  (** N: total energy-critical paths per pair (>= 2) *)
   latency_beta : float option;  (** REsPoNse-lat bound, e.g. Some 0.25 *)
   always_on_mode : Always_on.mode;
@@ -46,19 +46,21 @@ type evaluation = {
 }
 
 val evaluate :
-  ?threshold:float -> Tables.t -> Power.Model.t -> Traffic.Matrix.t -> evaluation
+  ?threshold:Eutil.Units.ratio Eutil.Units.q ->
+  Tables.t -> Power.Model.t -> Traffic.Matrix.t -> evaluation
 (** [threshold] is the ISP's link-utilisation target (default 0.9): a flow
     moves to the next path level when placing it would push some link of the
     current level beyond it. *)
 
 val loads :
-  ?threshold:float -> Tables.t -> Traffic.Matrix.t -> float array
+  ?threshold:Eutil.Units.ratio Eutil.Units.q -> Tables.t -> Traffic.Matrix.t -> float array
 (** Per-arc offered load of the steady state {!evaluate} reaches — e.g. the
     background utilisation an application workload experiences on top of the
     consolidated traffic. *)
 
 val carried_fraction :
-  ?threshold:float -> Tables.t -> Power.Model.t -> base:Traffic.Matrix.t -> max_level:int -> float
+  ?threshold:Eutil.Units.ratio Eutil.Units.q ->
+  Tables.t -> Power.Model.t -> base:Traffic.Matrix.t -> max_level:int -> float
 (** Largest multiple of [base] that the paths up to [max_level] can carry
     within the utilisation threshold (bisection) — used for the paper's claim
     that always-on paths alone carry about 50 % of the OSPF-carriable

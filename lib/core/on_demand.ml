@@ -26,7 +26,8 @@ let excluded_links g assignment fraction =
   let n_excl = int_of_float (floor (fraction *. float_of_int (List.length sorted))) in
   List.filteri (fun i _ -> i < n_excl) sorted |> List.map fst
 
-let compute ?(margin = 1.0) ?(rounds = 1) g power ~always_on ~pairs variant =
+let compute ?margin ?(rounds = 1) g power ~always_on ~pairs variant =
+  let margin = match margin with Some m -> m | None -> Eutil.Units.ratio 1.0 in
   let table : (int * int, Topo.Path.t list) Hashtbl.t = Hashtbl.create (List.length pairs) in
   List.iter (fun od -> Hashtbl.replace table od []) pairs;
   let previous_of od = Option.value (Hashtbl.find_opt table od) ~default:[] in

@@ -20,7 +20,7 @@ type variant =
   | Heuristic of Traffic.Matrix.t
 
 val compute :
-  ?margin:float ->
+  ?margin:Eutil.Units.ratio Eutil.Units.q ->
   ?rounds:int ->
   Topo.Graph.t ->
   Power.Model.t ->

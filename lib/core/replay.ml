@@ -12,7 +12,8 @@ type t = {
   recomputations : int;
 }
 
-let run ?(margin = 1.0) ?(solver = `Greedy) g power trace =
+let run ?margin ?(solver = `Greedy) g power trace =
+  let margin = match margin with Some m -> m | None -> Eutil.Units.ratio 1.0 in
   let ranking = Critical_paths.create g in
   let solve tm =
     match solver with
@@ -68,7 +69,9 @@ let config_dominance t =
       Hashtbl.replace counts key (1 + Option.value (Hashtbl.find_opt counts key) ~default:0))
     t.intervals;
   let total = float_of_int (Array.length t.intervals) in
-  Hashtbl.fold (fun k c acc -> (k, float_of_int c /. total) :: acc) counts []
+  if total = 0.0 then []
+  else
+    Hashtbl.fold (fun k c acc -> (k, float_of_int c /. total) :: acc) counts []
   |> List.sort
        (Eutil.Order.by (fun (k, f) -> (f, k))
           (Eutil.Order.pair (Eutil.Order.desc Float.compare) String.compare))

@@ -21,7 +21,7 @@ type t = {
 }
 
 val run :
-  ?margin:float ->
+  ?margin:Eutil.Units.ratio Eutil.Units.q ->
   ?solver:[ `Greedy | `Greente ] ->
   Topo.Graph.t ->
   Power.Model.t ->

@@ -1,18 +1,20 @@
+module U = Eutil.Units
+
 type config = {
-  probe_period : float;
-  util_threshold : float;
-  low_threshold : float;
-  hysteresis : float;
-  shift_fraction : float;
+  probe_period : U.seconds U.q;
+  util_threshold : U.ratio U.q;
+  low_threshold : U.ratio U.q;
+  hysteresis : U.seconds U.q;
+  shift_fraction : U.ratio U.q;
 }
 
 let default_config =
   {
-    probe_period = 0.1;
-    util_threshold = 0.9;
-    low_threshold = 0.4;
-    hysteresis = 0.2;
-    shift_fraction = 0.5;
+    probe_period = U.seconds 0.1;
+    util_threshold = U.ratio 0.9;
+    low_threshold = U.ratio 0.4;
+    hysteresis = U.seconds 0.2;
+    shift_fraction = U.ratio 0.5;
   }
 
 type action = Wake of int list | Set_split of float array
@@ -88,6 +90,12 @@ let on_probe t ~origin ~dest ~now ~link_util ~link_usable =
   | Some ps ->
       let g = t.g in
       let cfg = t.cfg in
+      (* Probe comparisons happen against raw utilisation and timestamp
+         floats; unwrap the typed thresholds once, at the decision boundary. *)
+      let util_threshold = U.to_float cfg.util_threshold in
+      let low_threshold = U.to_float cfg.low_threshold in
+      let hysteresis = U.to_float cfg.hysteresis in
+      let shift_fraction = U.to_float cfg.shift_fraction in
       let n = Array.length ps.paths in
       let usable i = path_usable g link_usable ps.paths.(i) in
       let util i = path_util g link_util ps.paths.(i) in
@@ -128,7 +136,7 @@ let on_probe t ~origin ~dest ~now ~link_util ~link_usable =
           end
         end
       done;
-      if !active_max_util > cfg.util_threshold && !hottest >= 0 then begin
+      if !active_max_util > util_threshold && !hottest >= 0 then begin
         ps.below_since <- None;
         (* Move towards the coolest usable alternative, as long as it is
            meaningfully cooler than the threshold (damping factor 0.85 keeps
@@ -137,7 +145,7 @@ let on_probe t ~origin ~dest ~now ~link_util ~link_usable =
         for i = n - 1 downto 0 do
           if i <> !hottest && usable i then begin
             let u = util i in
-            if u < cfg.util_threshold *. 0.85 then begin
+            if u < util_threshold *. 0.85 then begin
               match !target with
               | Some (_, bu) when bu <= u -> ()
               | _ -> target := Some (i, u)
@@ -146,19 +154,19 @@ let on_probe t ~origin ~dest ~now ~link_util ~link_usable =
         done;
         match !target with
         | Some (i, _) ->
-            let moved = cfg.shift_fraction *. split.(!hottest) in
+            let moved = shift_fraction *. split.(!hottest) in
             split.(!hottest) <- split.(!hottest) -. moved;
             split.(i) <- split.(i) +. moved;
             changed := true
         | None -> ()
       end
-      else if !active_max_util < cfg.low_threshold && !failed_share = 0.0 then begin
+      else if !active_max_util < low_threshold && !failed_share = 0.0 then begin
         (* 3. Consolidation: after a sustained low-load period, move the
            highest active level down one step (towards the always-on path),
            but only if the lower path is usable. *)
         match ps.below_since with
         | None -> ps.below_since <- Some now
-        | Some since when now -. since >= cfg.hysteresis ->
+        | Some since when now -. since >= hysteresis ->
             let top = ref (-1) in
             for i = n - 1 downto 0 do
               if !top < 0 && split.(i) > 0.0 then top := i
@@ -169,7 +177,7 @@ let on_probe t ~origin ~dest ~now ~link_util ~link_usable =
                 if !lower < 0 && usable i then lower := i
               done;
               if !lower >= 0 then begin
-                let moved = min split.(!top) cfg.shift_fraction in
+                let moved = min split.(!top) shift_fraction in
                 split.(!top) <- split.(!top) -. moved;
                 split.(!lower) <- split.(!lower) +. moved;
                 if split.(!top) < 1e-9 then split.(!top) <- 0.0;

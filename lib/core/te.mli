@@ -13,11 +13,16 @@
     about. *)
 
 type config = {
-  probe_period : float;  (** T, seconds; set to the network's max RTT *)
-  util_threshold : float;  (** activate the next level above this (0..1) *)
-  low_threshold : float;  (** consolidate below this (0..1) *)
-  hysteresis : float;  (** seconds below [low_threshold] before stepping down *)
-  shift_fraction : float;  (** max fraction of a pair's traffic moved per decision *)
+  probe_period : Eutil.Units.seconds Eutil.Units.q;
+      (** T; set to the network's max RTT *)
+  util_threshold : Eutil.Units.ratio Eutil.Units.q;
+      (** activate the next level above this (0..1) *)
+  low_threshold : Eutil.Units.ratio Eutil.Units.q;
+      (** consolidate below this (0..1) *)
+  hysteresis : Eutil.Units.seconds Eutil.Units.q;
+      (** time below [low_threshold] before stepping down *)
+  shift_fraction : Eutil.Units.ratio Eutil.Units.q;
+      (** max fraction of a pair's traffic moved per decision *)
 }
 
 val default_config : config

@@ -29,6 +29,8 @@ let pivot tb ~row ~col =
   let m = Array.length tb.t in
   let r = tb.t.(row) in
   let piv = r.(col) in
+  (* Pivot selection only ever picks entries with |entry| > eps. *)
+  assert (piv <> 0.0);
   for j = 0 to tb.ncols do
     r.(j) <- r.(j) /. piv
   done;

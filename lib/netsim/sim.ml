@@ -221,7 +221,7 @@ let take_sample s power =
   let rate_total = List.fold_left (fun acc (_, r) -> acc +. r) 0.0 s.pair_rates in
   {
     time = s.now;
-    power_watts = Power.Model.total power s.g st;
+    power_watts = Eutil.Units.to_float (Power.Model.total power s.g st);
     power_percent = Power.Model.percent_of_full power s.g st;
     demand_total = Traffic.Matrix.total s.demand;
     rate_total;
@@ -289,7 +289,7 @@ let run ?(config = default_config) ?initial_splits ~tables ~power ~events ~durat
       | Repair_link (t, l) -> Eutil.Heap.push s.queue t (Repair l))
     events;
   (* Probes: per pair, staggered within the first period. *)
-  let t_probe = config.te.Response.Te.probe_period in
+  let t_probe = Eutil.Units.to_float config.te.Response.Te.probe_period in
   List.iteri
     (fun i (o, d) ->
       let offset = t_probe *. float_of_int i /. float_of_int (max 1 (List.length pairs)) in

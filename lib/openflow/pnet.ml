@@ -43,12 +43,13 @@ let run ?(config = default_config) ctl ~flows ~duration =
   let next_free = Array.make n_arcs 0.0 in
   let queue = Eutil.Heap.create () in
   let pkt_bits = float_of_int (8 * config.packet_size) in
+  if pkt_bits <= 0.0 then invalid_arg "Pnet.run: packet_size must be positive";
   (* Schedule injections. *)
   Array.iteri
     (fun i (_, _, rate) ->
       if rate > 0.0 then begin
         let period = pkt_bits /. rate in
-        let n = int_of_float (duration /. period) in
+        let n = int_of_float (duration *. rate /. pkt_bits) in
         for k = 0 to n - 1 do
           Eutil.Heap.push queue (float_of_int k *. period) (Inject i)
         done

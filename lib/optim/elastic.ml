@@ -1,4 +1,5 @@
 module G = Topo.Graph
+module U = Eutil.Units
 
 (* Pod index of a host node, from the fat-tree layout. *)
 let pod_tables ft =
@@ -72,11 +73,14 @@ let build_state ft ~aggs_per_pod ~cores =
   done;
   st
 
-let minimal_subset ?(margin = 1.0) ft power tm =
+let minimal_subset ?margin ft power tm =
+  let margin = match margin with Some m -> m | None -> U.ratio 1.0 in
   let g = ft.Topo.Fattree.graph in
   let k = ft.Topo.Fattree.k in
   let half = k / 2 in
-  let cap = margin *. G.link_capacity g 0 in
+  let cap = U.to_float (U.( *: ) margin (U.bps (G.link_capacity g 0))) in
+  if cap <= 0.0 then
+    invalid_arg "Elastic.minimal_subset: fat-tree link capacity (times margin) must be positive";
   let cross_out, cross_in, intra = pod_demands ft tm in
   let needs_agg = Array.exists (fun v -> v > 0.0) intra in
   let max_cross =
@@ -87,6 +91,7 @@ let minimal_subset ?(margin = 1.0) ft power tm =
      cross traffic ((k/2) core uplinks each). *)
   let demand_aggs =
     let per_agg = float_of_int half *. cap in
+    assert (per_agg > 0.0);
     int_of_float (ceil (max_cross /. per_agg))
   in
   let base_aggs =

@@ -5,7 +5,7 @@
     (the paper makes the same remark). *)
 
 val minimal_subset :
-  ?margin:float ->
+  ?margin:Eutil.Units.ratio Eutil.Units.q ->
   Topo.Fattree.t ->
   Power.Model.t ->
   Traffic.Matrix.t ->

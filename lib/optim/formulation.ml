@@ -1,4 +1,5 @@
 module G = Topo.Graph
+module U = Eutil.Units
 
 type exact = {
   state : Topo.State.t;
@@ -6,8 +7,9 @@ type exact = {
   power_watts : float;
 }
 
-let solve ?(margin = 1.0) ?(max_nodes = 200_000) ?(pin_link = fun _ -> false)
+let solve ?margin ?(max_nodes = 200_000) ?(pin_link = fun _ -> false)
     ?(delay_bound = fun _ -> None) g power tm =
+  let margin = U.to_float (match margin with Some m -> m | None -> U.ratio 1.0) in
   let m = Lp.Model.create () in
   let flows = Traffic.Matrix.flows tm in
   let n_nodes = G.node_count g in
@@ -74,10 +76,13 @@ let solve ?(margin = 1.0) ?(max_nodes = 200_000) ?(pin_link = fun _ -> false)
           let terms = Array.to_list (Array.mapi (fun a v -> ((G.arc g a).G.latency, v)) fv) in
           Lp.Model.constr m terms Lp.Simplex.Le bound)
     f;
-  (* Objective: chassis power on X, link power on Y. *)
+  (* Objective: chassis power on X, link power on Y. The coefficients are
+     typed watts until this point; the LP substrate is the dimensionless
+     boundary, so the conversion is an explicit, annotated escape. *)
+  let coeff (w : U.watts U.q) = U.to_float w in
   let obj =
-    Array.to_list (Array.mapi (fun i v -> (Power.Model.node_power power g i, v)) x)
-    @ Array.to_list (Array.mapi (fun l v -> (Power.Model.link_power power g l, v)) y)
+    Array.to_list (Array.mapi (fun i v -> (coeff (Power.Model.node_power power g i), v)) x)
+    @ Array.to_list (Array.mapi (fun l v -> (coeff (Power.Model.link_power power g l), v)) y)
   in
   Lp.Model.minimize m obj;
   (* The simplex substrate silently misbehaves on NaN/infinite input, so

@@ -14,7 +14,7 @@ type exact = {
 }
 
 val solve :
-  ?margin:float ->
+  ?margin:Eutil.Units.ratio Eutil.Units.q ->
   ?max_nodes:int ->
   ?pin_link:(int -> bool) ->
   ?delay_bound:(int * int -> float option) ->

@@ -9,7 +9,7 @@ val candidate_table :
 (** The k (default 4) shortest latency paths per pair. *)
 
 val minimal_subset :
-  ?margin:float ->
+  ?margin:Eutil.Units.ratio Eutil.Units.q ->
   ?k:int ->
   ?pinned:(int -> bool) ->
   Topo.Graph.t ->

@@ -1,3 +1,5 @@
+module U = Eutil.Units
+
 type result = {
   state : Topo.State.t;
   routing : (int * int, Topo.Path.t) Hashtbl.t;
@@ -62,8 +64,11 @@ let router_moves g power tm =
           |> List.sort_uniq Int.compare
         in
         let gain =
-          Power.Model.node_power power g n
-          +. List.fold_left (fun s l -> s +. Power.Model.link_power power g l) 0.0 links
+          U.to_float
+            (List.fold_left
+               (fun s l -> U.( +: ) s (Power.Model.link_power power g l))
+               (Power.Model.node_power power g n)
+               links)
         in
         { links; gain } :: acc
       end)
@@ -72,7 +77,7 @@ let router_moves g power tm =
 
 let link_moves g power =
   Topo.Graph.fold_links g ~init:[] ~f:(fun acc l ->
-      { links = [ l ]; gain = Power.Model.link_power power g l } :: acc)
+      { links = [ l ]; gain = U.to_float (Power.Model.link_power power g l) } :: acc)
   |> List.sort (Eutil.Order.by (fun m -> (m.gain, m.links))
                   (Eutil.Order.pair (Eutil.Order.desc Float.compare) (List.compare Int.compare)))
 
@@ -84,7 +89,7 @@ let result_of g power f =
       match Feasible.path_of f o d with Some p -> Hashtbl.replace routing (o, d) p | None -> ())
     (Feasible.flows f);
   let arc_load = Array.init (Topo.Graph.arc_count g) (fun a -> Feasible.load f a) in
-  let power_watts = Power.Model.total power g st in
+  let power_watts = U.to_float (Power.Model.total power g st) in
   {
     state = st;
     routing;
@@ -121,8 +126,9 @@ let try_move g f reroute move =
     ok
   end
 
-let power_down ?(margin = 1.0) ?(pinned = fun _ -> false) ?(reroute = dijkstra_reroute) g power
+let power_down ?margin ?(pinned = fun _ -> false) ?(reroute = dijkstra_reroute) g power
     tm =
+  let margin = U.to_float (match margin with Some m -> m | None -> U.ratio 1.0) in
   let f = Feasible.create ~margin g in
   if not (Feasible.route_matrix f tm) then None
   else begin
@@ -134,6 +140,7 @@ let power_down ?(margin = 1.0) ?(pinned = fun _ -> false) ?(reroute = dijkstra_r
     Some (result_of g power f)
   end
 
-let evaluate ?(margin = 1.0) g power tm state =
+let evaluate ?margin g power tm state =
+  let margin = U.to_float (match margin with Some m -> m | None -> U.ratio 1.0) in
   let f = Feasible.create ~margin ~state g in
   if Feasible.route_matrix f tm then Some (result_of g power f) else None

@@ -31,7 +31,7 @@ val ksp_reroute : (int * int, Topo.Path.t list) Hashtbl.t -> reroute
     paths per pair; the cheapest feasible candidate wins. *)
 
 val power_down :
-  ?margin:float ->
+  ?margin:Eutil.Units.ratio Eutil.Units.q ->
   ?pinned:(int -> bool) ->
   ?reroute:reroute ->
   Topo.Graph.t ->
@@ -44,7 +44,7 @@ val power_down :
     matrix. Deterministic: ties are broken by element identifier. *)
 
 val evaluate :
-  ?margin:float ->
+  ?margin:Eutil.Units.ratio Eutil.Units.q ->
   Topo.Graph.t ->
   Power.Model.t ->
   Traffic.Matrix.t ->

@@ -1,22 +1,47 @@
+module U = Eutil.Units
+
 type state = {
   name : string;
-  power_fraction : float;
-  wake_time : float;
-  transition_energy : float;
+  power_fraction : U.ratio U.q;
+  wake_time : U.seconds U.q;
+  transition_energy : U.seconds U.q;
 }
 
-let lpi = { name = "LPI"; power_fraction = 0.1; wake_time = 16e-6; transition_energy = 1e-5 }
-let nap = { name = "nap"; power_fraction = 0.05; wake_time = 10e-3; transition_energy = 5e-3 }
-let deep = { name = "deep"; power_fraction = 0.02; wake_time = 2.0; transition_energy = 1.0 }
+let lpi =
+  {
+    name = "LPI";
+    power_fraction = U.ratio 0.1;
+    wake_time = U.seconds 16e-6;
+    transition_energy = U.seconds 1e-5;
+  }
+
+let nap =
+  {
+    name = "nap";
+    power_fraction = U.ratio 0.05;
+    wake_time = U.seconds 10e-3;
+    transition_energy = U.seconds 5e-3;
+  }
+
+let deep =
+  {
+    name = "deep";
+    power_fraction = U.ratio 0.02;
+    wake_time = U.seconds 2.0;
+    transition_energy = U.seconds 1.0;
+  }
 
 (* For a gap of length T (at active power 1 W): staying awake costs T.
    Sleeping costs (T - wake) * fraction + wake * 1 + transition_energy.
    Break-even where they are equal. *)
 let breakeven_gap s =
-  if s.power_fraction >= 1.0 then infinity
-  else
-    ((s.wake_time *. (1.0 -. s.power_fraction)) +. s.transition_energy)
-    /. (1.0 -. s.power_fraction)
+  let saved_rate = 1.0 -. U.to_float s.power_fraction in
+  if saved_rate <= 0.0 then U.unsafe infinity
+  else begin
+    let wake = U.to_float s.wake_time in
+    let overhead = U.to_float s.transition_energy in
+    U.seconds (((wake *. saved_rate) +. overhead) /. saved_rate)
+  end
 
 let gaps_of_busy ~busy ~horizon =
   let rec build cursor = function
@@ -30,17 +55,18 @@ let gaps_of_busy ~busy ~horizon =
 
 let gap_energy ~active_power ~states gap_len =
   (* Best achievable energy for one idle gap. *)
-  let awake = gap_len *. active_power in
+  let awake = U.( *@ ) active_power (U.seconds gap_len) in
   List.fold_left
     (fun best s ->
-      if gap_len <= s.wake_time then best
+      let wake = U.to_float s.wake_time in
+      if gap_len <= wake then best
       else begin
-        let asleep =
-          ((gap_len -. s.wake_time) *. s.power_fraction *. active_power)
-          +. (s.wake_time *. active_power)
-          +. (s.transition_energy *. active_power)
+        let asleep_seconds =
+          ((gap_len -. wake) *. U.to_float s.power_fraction)
+          +. wake
+          +. U.to_float s.transition_energy
         in
-        min best asleep
+        U.min_q best (U.( *@ ) active_power (U.seconds asleep_seconds))
       end)
     awake states
 
@@ -48,15 +74,22 @@ let energy ~active_power ~states ~busy ~horizon =
   let busy_time = List.fold_left (fun acc (a, b) -> acc +. (b -. a)) 0.0 busy in
   let gaps = gaps_of_busy ~busy ~horizon in
   let idle_energy =
-    List.fold_left (fun acc (a, b) -> acc +. gap_energy ~active_power ~states (b -. a)) 0.0 gaps
+    List.fold_left
+      (fun acc (a, b) -> U.( +: ) acc (gap_energy ~active_power ~states (b -. a)))
+      U.zero gaps
   in
-  (busy_time *. active_power) +. idle_energy
+  U.( +: ) (U.( *@ ) active_power (U.seconds busy_time)) idle_energy
 
 let savings_percent ~active_power ~states ~busy ~horizon =
-  let on = active_power *. horizon in
-  if on <= 0.0 then 0.0 else 100.0 *. (1.0 -. (energy ~active_power ~states ~busy ~horizon /. on))
+  let on = U.( *@ ) active_power (U.seconds horizon) in
+  if U.to_float on <= 0.0 then 0.0
+  else begin
+    let used = energy ~active_power ~states ~busy ~horizon in
+    100.0 *. (1.0 -. U.to_float (U.( /: ) used on))
+  end
 
 let periodic_busy ~utilisation ~period ~horizon =
+  let utilisation = U.to_float utilisation in
   if utilisation < 0.0 || utilisation > 1.0 then invalid_arg "Sleep.periodic_busy: utilisation";
   if period <= 0.0 then invalid_arg "Sleep.periodic_busy: period";
   let n = int_of_float (ceil (horizon /. period)) in

@@ -12,9 +12,13 @@
 
 type state = {
   name : string;
-  power_fraction : float;  (** fraction of active power drawn while asleep *)
-  wake_time : float;  (** seconds to return to the active state *)
-  transition_energy : float;  (** joules per enter+exit cycle, at 1 W active power *)
+  power_fraction : Eutil.Units.ratio Eutil.Units.q;
+      (** fraction of active power drawn while asleep *)
+  wake_time : Eutil.Units.seconds Eutil.Units.q;
+      (** time to return to the active state *)
+  transition_energy : Eutil.Units.seconds Eutil.Units.q;
+      (** joules per enter+exit cycle at 1 W active power — dimensionally
+          J/W = seconds *)
 }
 
 val lpi : state
@@ -26,25 +30,40 @@ val nap : state
 val deep : state
 (** Deep sleep: ~2 % power, ~2 s wake — only long gaps qualify. *)
 
-val breakeven_gap : state -> float
-(** Minimum idle-gap length (seconds) for which entering the state saves
-    energy versus staying active, accounting for wake time (spent at full
-    power) and transition energy. Normalised to 1 W active power. *)
+val breakeven_gap : state -> Eutil.Units.seconds Eutil.Units.q
+(** Minimum idle-gap length for which entering the state saves energy versus
+    staying active, accounting for wake time (spent at full power) and
+    transition energy. Normalised to 1 W active power; [infinity] for a
+    state that never pays off. *)
 
 val gaps_of_busy : busy:(float * float) list -> horizon:float -> (float * float) list
 (** Complement of a sorted disjoint list of busy periods within
     [0, horizon]. *)
 
 val energy :
-  active_power:float -> states:state list -> busy:(float * float) list -> horizon:float -> float
-(** Energy (J) over the horizon when every idle gap uses the best available
-    state (or none, for gaps below all break-evens). No states = always on. *)
+  active_power:Eutil.Units.watts Eutil.Units.q ->
+  states:state list ->
+  busy:(float * float) list ->
+  horizon:float ->
+  Eutil.Units.joules Eutil.Units.q
+(** Energy over the horizon when every idle gap uses the best available
+    state (or none, for gaps below all break-evens). No states = always on.
+    Busy periods and the horizon are plain seconds on the simulation
+    clock. *)
 
 val savings_percent :
-  active_power:float -> states:state list -> busy:(float * float) list -> horizon:float -> float
+  active_power:Eutil.Units.watts Eutil.Units.q ->
+  states:state list ->
+  busy:(float * float) list ->
+  horizon:float ->
+  float
 (** 100 * (1 - energy with sleep / energy always-on). *)
 
-val periodic_busy : utilisation:float -> period:float -> horizon:float -> (float * float) list
+val periodic_busy :
+  utilisation:Eutil.Units.ratio Eutil.Units.q ->
+  period:float ->
+  horizon:float ->
+  (float * float) list
 (** Busy pattern of a link at the given utilisation whose traffic is shaped
     into bursts of the given period — the buffer-and-burst idea of
     [Nedevschi et al., NSDI 2008]: upstream queueing coalesces packets so

@@ -56,11 +56,13 @@ let triangle ?(capacity = 1e9) ?(latency = 1e-3) () =
   ignore (Graph.Builder.add_link b ~capacity ~latency n0 n2);
   Graph.Builder.build b
 
+let gig = Eutil.Units.to_float (Eutil.Units.gbps 1.0)
+
 let square_with_diagonal () =
   (* 4-cycle n0-n1-n2-n3 plus chord n0-n2; useful for path-diversity tests. *)
   let b = Graph.Builder.create () in
   let n = Array.init 4 (fun i -> Graph.Builder.add_node b (Printf.sprintf "n%d" i)) in
-  let link x y = ignore (Graph.Builder.add_link b ~capacity:1e9 ~latency:1e-3 x y) in
+  let link x y = ignore (Graph.Builder.add_link b ~capacity:gig ~latency:1e-3 x y) in
   link n.(0) n.(1);
   link n.(1) n.(2);
   link n.(2) n.(3);
@@ -72,6 +74,6 @@ let line n_nodes =
   let b = Graph.Builder.create () in
   let n = Array.init n_nodes (fun i -> Graph.Builder.add_node b (Printf.sprintf "n%d" i)) in
   for i = 0 to n_nodes - 2 do
-    ignore (Graph.Builder.add_link b ~capacity:1e9 ~latency:1e-3 n.(i) n.(i + 1))
+    ignore (Graph.Builder.add_link b ~capacity:gig ~latency:1e-3 n.(i) n.(i + 1))
   done;
   Graph.Builder.build b

@@ -1,7 +1,7 @@
 let pretty_capacity c =
-  if c >= 1e9 then Printf.sprintf "%.1fG" (c /. 1e9)
-  else if c >= 1e6 then Printf.sprintf "%.0fM" (c /. 1e6)
-  else Printf.sprintf "%.0fk" (c /. 1e3)
+  if c >= Eutil.Units.giga then Printf.sprintf "%.1fG" (c /. Eutil.Units.giga)
+  else if c >= Eutil.Units.mega then Printf.sprintf "%.0fM" (c /. Eutil.Units.mega)
+  else Printf.sprintf "%.0fk" (c /. Eutil.Units.kilo)
 
 let to_dot ?state ?(highlight = []) g =
   let buf = Buffer.create 1024 in

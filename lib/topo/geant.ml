@@ -10,7 +10,7 @@ let pops =
     "LU"; "NL"; "PL"; "PT"; "SE"; "SI"; "SK"; "UK";
   |]
 
-let gbit x = x *. 1e9
+let gbit x = Eutil.Units.to_float (Eutil.Units.gbps x)
 let ms x = x *. 1e-3
 
 (* (a, b, capacity, one-way latency) *)

@@ -16,6 +16,11 @@ let dist (x1, y1) (x2, y2) = sqrt (((x1 -. x2) ** 2.0) +. ((y1 -. y2) ** 2.0))
 (* Continental-scale latency: unit square ~ 4000 km, 5 us/km in fibre. *)
 let latency_of_distance d = d *. 4000.0 *. 5e-6
 
+(* Kandula et al. capacity rule: 100 Mbit/s at low-degree end points,
+   52 Mbit/s on trunks between well-connected PoPs. *)
+let edge_bps = Eutil.Units.to_float (Eutil.Units.mbps 100.0)
+let trunk_bps = Eutil.Units.to_float (Eutil.Units.mbps 52.0)
+
 let make spec =
   let rng = Eutil.Prng.create spec.seed in
   let n = spec.pops in
@@ -89,7 +94,7 @@ let make spec =
   let pairs = Hashtbl.fold (fun k () acc -> k :: acc) have [] |> List.sort Eutil.Order.int_pair in
   List.iter
     (fun (i, j) ->
-      let capacity = if deg.(i) < 7 || deg.(j) < 7 then 100e6 else 52e6 in
+      let capacity = if deg.(i) < 7 || deg.(j) < 7 then edge_bps else trunk_bps in
       let latency = max 0.5e-3 (latency_of_distance (dist pos.(i) pos.(j))) in
       ignore (Graph.Builder.add_link b ~capacity ~latency nodes.(i) nodes.(j)))
     pairs;

@@ -1,3 +1,5 @@
+module U = Eutil.Units
+
 let weights g =
   let w = Array.make (Topo.Graph.node_count g) 0.0 in
   Topo.Graph.iter_links g ~f:(fun l ->
@@ -14,13 +16,20 @@ let all_pairs g =
          Array.to_list nodes |> List.filter_map (fun d -> if o <> d then Some (o, d) else None))
 
 let make g ?pairs ~total () =
+  let total = U.to_float total in
   let pairs = match pairs with Some p -> p | None -> all_pairs g in
   let w = weights g in
   let raw = List.map (fun (o, d) -> (o, d, w.(o) *. w.(d))) pairs in
   let mass = List.fold_left (fun acc (_, _, m) -> acc +. m) 0.0 raw in
   let m = Matrix.create (Topo.Graph.node_count g) in
-  if mass > 0.0 then
-    List.iter (fun (o, d, x) -> Matrix.add_to m o d (total *. x /. mass)) raw;
+  if mass > 0.0 then List.iter (fun (o, d, x) -> Matrix.add_to m o d (total *. x /. mass)) raw
+  else if total > 0.0 && pairs <> [] then
+    (* Without this the caller would get an all-zero matrix for a positive
+       requested volume — or, without the [mass > 0] guard above, a matrix
+       of 0/0 NaN demands. Fail loudly instead. *)
+    invalid_arg
+      "Traffic.Gravity.make: every selected pair has zero gravity mass \
+       (zero-capacity endpoints); cannot scale a positive total demand";
   m
 
 let random_node_pairs g ~seed ~fraction =

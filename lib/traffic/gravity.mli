@@ -5,10 +5,17 @@
 val weights : Topo.Graph.t -> float array
 (** Per-node gravity mass: the sum of adjacent link capacities. *)
 
-val make : Topo.Graph.t -> ?pairs:(int * int) list -> total:float -> unit -> Matrix.t
+val make :
+  Topo.Graph.t ->
+  ?pairs:(int * int) list ->
+  total:Eutil.Units.bps Eutil.Units.q ->
+  unit ->
+  Matrix.t
 (** Gravity matrix over the given origin-destination pairs (all ordered pairs
     of {!Topo.Graph.traffic_nodes} by default), normalised so demands sum to
-    [total]. *)
+    [total] (bit/s). Raises [Invalid_argument] when a positive total is
+    requested but every selected pair has zero gravity mass (zero-capacity
+    endpoints) — the configuration that would otherwise yield 0/0 demands. *)
 
 val random_pairs : Topo.Graph.t -> seed:int -> fraction:float -> (int * int) list
 (** Random subset of origin-destination pairs: each ordered traffic-node pair

@@ -10,9 +10,20 @@ val fattree_pairs : Topo.Fattree.t -> locality -> (int * int) list
 (** One flow per host: to the next host of the same pod ([Near]) or to the
     host half the datacenter away ([Far]). *)
 
-val demand_at : peak:float -> period:float -> float -> float
+val demand_at :
+  peak:Eutil.Units.bps Eutil.Units.q ->
+  period:Eutil.Units.seconds Eutil.Units.q ->
+  float ->
+  Eutil.Units.bps Eutil.Units.q
 (** [demand_at ~peak ~period t] is [peak * (1 - cos (2 pi t / period)) / 2]:
-    0 at t = 0, [peak] at half period. *)
+    0 at t = 0, [peak] at half period. Raises [Invalid_argument] on a
+    non-positive period. *)
 
-val fattree : Topo.Fattree.t -> locality -> peak:float -> period:float -> float -> Matrix.t
+val fattree :
+  Topo.Fattree.t ->
+  locality ->
+  peak:Eutil.Units.bps Eutil.Units.q ->
+  period:Eutil.Units.seconds Eutil.Units.q ->
+  float ->
+  Matrix.t
 (** Full traffic matrix at time [t]. *)

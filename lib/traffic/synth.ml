@@ -1,3 +1,5 @@
+module U = Eutil.Units
+
 let day = 86_400.0
 
 (* Diurnal shape in [0,1]: trough around 04:00, peak around 15:00. *)
@@ -10,14 +12,27 @@ let weekend_dip t =
   let dow = int_of_float (floor (t /. day)) mod 7 in
   if dow >= 5 then 0.7 else 1.0
 
-let geant_like g ?(seed = 42) ?(days = 15) ?(interval = 900.0) ?(mean_utilisation = 0.05)
-    ?(noise_sigma = 0.3) ?pairs () =
-  let rng = Eutil.Prng.create seed in
-  let pairs =
-    match pairs with Some p -> p | None -> Gravity.make g ~total:1.0 () |> Matrix.pairs
+let geant_like g ?(seed = 42) ?(days = 15) ?interval ?mean_utilisation ?(noise_sigma = 0.3)
+    ?pairs () =
+  let interval = U.to_float (match interval with Some i -> i | None -> U.seconds 900.0) in
+  if interval <= 0.0 then
+    invalid_arg "Traffic.Synth.geant_like: interval must be positive (interval counts divide by it)";
+  let mean_utilisation =
+    U.to_float (match mean_utilisation with Some u -> u | None -> U.ratio 0.05)
   in
-  let base = Gravity.make g ~pairs ~total:1.0 () in
-  let cap_sum = Topo.Graph.fold_links g ~init:0.0 ~f:(fun acc l -> acc +. Topo.Graph.link_capacity g l) in
+  let rng = Eutil.Prng.create seed in
+  let cap_sum =
+    Topo.Graph.fold_links g ~init:0.0 ~f:(fun acc l -> acc +. Topo.Graph.link_capacity g l)
+  in
+  (* An empty or zero-capacity topology admits no demand volume at all:
+     every generated matrix would be zero (or, with a gravity base, 0/0
+     NaN). An explicit error beats a silently useless trace. *)
+  if cap_sum <= 0.0 then
+    invalid_arg "Traffic.Synth.geant_like: topology has zero total link capacity";
+  let pairs =
+    match pairs with Some p -> p | None -> Gravity.make g ~total:(U.bps 1.0) () |> Matrix.pairs
+  in
+  let base = Gravity.make g ~pairs ~total:(U.bps 1.0) () in
   let mean_volume = mean_utilisation *. cap_sum in
   let n_intervals = int_of_float (float_of_int days *. day /. interval) in
   (* Slow per-OD random walk: shares drift over hours, not per interval. *)
@@ -53,7 +68,12 @@ let geant_like g ?(seed = 42) ?(days = 15) ?(interval = 900.0) ?(mean_utilisatio
   in
   Trace.make ~interval tms
 
-let google_dc_like ~n ~pairs ?(seed = 7) ?(days = 8) ?(interval = 300.0) ?(peak = 1e9) () =
+let google_dc_like ~n ~pairs ?(seed = 7) ?(days = 8) ?interval ?peak () =
+  let interval = U.to_float (match interval with Some i -> i | None -> U.seconds 300.0) in
+  if interval <= 0.0 then
+    invalid_arg
+      "Traffic.Synth.google_dc_like: interval must be positive (interval counts divide by it)";
+  let peak = U.to_float (match peak with Some p -> p | None -> U.gbps 1.0) in
   let rng = Eutil.Prng.create seed in
   let n_intervals = int_of_float (float_of_int days *. day /. interval) in
   let pairs = Array.of_list pairs in
@@ -69,6 +89,9 @@ let google_dc_like ~n ~pairs ?(seed = 7) ?(days = 8) ?(interval = 300.0) ?(peak 
           let target =
             0.15 +. (0.55 *. (0.5 +. (0.5 *. sin ((2.0 *. Float.pi *. t /. day) +. phase.(p)))))
           in
+          (* The diurnal target is bounded below by its 0.15 base load, so
+             the reversion ratio below can never divide by zero. *)
+          assert (target > 0.0);
           (* Mean-reverting multiplicative walk; sigma 0.35 yields ~50 % of
              intervals changing by >= 20 %, matching Figure 1a. *)
           let noise = Eutil.Prng.lognormal rng ~mu:0.0 ~sigma:0.35 in

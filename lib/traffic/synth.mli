@@ -6,8 +6,8 @@ val geant_like :
   Topo.Graph.t ->
   ?seed:int ->
   ?days:int ->
-  ?interval:float ->
-  ?mean_utilisation:float ->
+  ?interval:Eutil.Units.seconds Eutil.Units.q ->
+  ?mean_utilisation:Eutil.Units.ratio Eutil.Units.q ->
   ?noise_sigma:float ->
   ?pairs:(int * int) list ->
   unit ->
@@ -18,16 +18,18 @@ val geant_like :
     per-OD demands follow gravity shares modulated by lognormal noise of the
     given sigma (default 0.3) and by a slow per-OD random walk, so that demand
     proportions — and hence minimal network subsets — shift during busy hours
-    but settle at night. [mean_utilisation] (default 0.1) scales the mean
-    aggregate volume relative to the sum of link capacities. *)
+    but settle at night. [mean_utilisation] (default 0.05) scales the mean
+    aggregate volume relative to the sum of link capacities. Raises
+    [Invalid_argument] on a non-positive interval or a zero-capacity
+    topology — both would otherwise corrupt the trace silently. *)
 
 val google_dc_like :
   n:int ->
   pairs:(int * int) list ->
   ?seed:int ->
   ?days:int ->
-  ?interval:float ->
-  ?peak:float ->
+  ?interval:Eutil.Units.seconds Eutil.Units.q ->
+  ?peak:Eutil.Units.bps Eutil.Units.q ->
   unit ->
   Trace.t
 (** Google-datacenter stand-in: [days]-day (default 8) 5-minute series over

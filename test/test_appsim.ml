@@ -9,7 +9,8 @@ let abovenet_power = Power.Model.cisco12000 abovenet
 
 let streaming_config =
   {
-    Netsim.Sim.te = { Response.Te.default_config with probe_period = 0.2 };
+    Netsim.Sim.te =
+      { Response.Te.default_config with probe_period = Eutil.Units.seconds 0.2 };
     wake_time = 0.1;
     failure_detection = 0.1;
     idle_timeout = 5.0;

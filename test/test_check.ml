@@ -84,6 +84,113 @@ let test_report_formats () =
   Alcotest.(check bool) "json array" true
     (String.length json >= 2 && json.[0] = '[' && json.[String.length json - 1] = ']')
 
+(* ---------------------------- lexer edges ---------------------------- *)
+
+(* Regressions for the shared lexer: literals that hide rule tokens, the
+   '\'' char literal, underscore-delimited quoted strings, and number /
+   operator tokens coexisting with the existing rules. *)
+
+let test_lexer_string_edges () =
+  lints_clean "escaped quote in string" "let s = \"a \\\" Obj.magic\"\nlet x = 1\n";
+  lints_clean "nested comment" "(* outer (* List.nth *) still comment *)\nlet x = 1\n";
+  lints_clean "string inside comment" "(* \"*)\" Obj.magic *)\nlet x = 1\n";
+  lints_clean "quoted string" "let s = {x|Obj.magic|x}\nlet y = 1\n";
+  lints_clean "underscore quoted string" "let s = {_|Obj.magic|_}\nlet y = 1\n"
+
+let test_lexer_char_literals () =
+  (* The escaped-quote char literal must not swallow the rest of the file:
+     the violation after it still fires, and a banned name inside a
+     subsequent string stays hidden. *)
+  fires "list-nth" "let q = '\\''\nlet x = List.nth l 3\n";
+  lints_clean "quote literal then string" "let q = '\\''\nlet s = \"Obj.magic\"\n";
+  lints_clean "plain char and type var" "let c = 'a'\ntype t = 'b * int\n"
+
+let test_lexer_numbers_and_ops () =
+  (* Number and operator tokens must not perturb neighbouring rules. *)
+  fires "poly-compare" "let x = 2.5e9\nlet s = List.sort compare xs\n";
+  fires "catchall-try" "let f () = try 1.0 /. g () with _ -> 0.0\n";
+  lints_clean "arith ops" "let y = (a +. 1e3) *. b -. c ** 2.0\nlet z = xs |> f\n"
+
+(* ------------------------------- Flow -------------------------------- *)
+
+let analyze ?(file = "fixture.ml") src = Check.Flow.analyze_string ~file src
+
+let flow_fires rule src =
+  Alcotest.(check bool) (rule ^ " fires") true (F.has_rule rule (analyze src))
+
+let flow_clean name src =
+  Alcotest.(check (list string)) (name ^ " is clean") [] (rule_ids (analyze src))
+
+let test_flow_div_unguarded () =
+  flow_fires "div-unguarded" "let f a b = a /. b\n";
+  flow_fires "div-unguarded" "let f a = a /. 0.0\n";
+  flow_fires "div-unguarded" "let f a n = a /. float_of_int n\n";
+  (* max with a zero floor is no guard at all *)
+  flow_fires "div-unguarded" "let f a b = a /. max 0.0 b\n"
+
+let test_flow_div_guards () =
+  flow_clean "zero handled" "let f a b = if b = 0.0 then 0.0 else a /. b\n";
+  flow_clean "bounded away" "let f a b = if b <= 0.0 then invalid_arg \"b\" else a /. b\n";
+  flow_clean "max floor" "let f a b = a /. max 1e-9 b\n";
+  flow_clean "max binding" "let f a b = let d = max 0.5 b in a /. d\n";
+  flow_clean "assert" "let f a b = assert (b > 0.0);\n  a /. b\n";
+  flow_clean "int guard" "let f a n = if n = 0 then 0.0 else a /. float_of_int n\n";
+  flow_clean "literal divisor" "let f a = a /. 2.0\n";
+  flow_clean "toplevel constant" "let day = 86_400.0\nlet f t = t /. day\n";
+  (* Facts do not leak across toplevel definitions. *)
+  flow_fires "div-unguarded" "let g b = b > 0.0\nlet f a b = a /. b\n"
+
+let test_flow_nan_compare () =
+  flow_fires "nan-compare" "let bad x = x > nan\n";
+  flow_fires "nan-compare" "let bad x = nan = x\n";
+  flow_fires "nan-compare" "let bad x = x < Float.nan\n";
+  flow_fires "nan-compare" "let bad x = x <> x\n";
+  flow_clean "explicit predicate" "let ok x = Float.is_nan x\n";
+  (* Unary function definitions are [=]-self-comparison shaped; they must
+     not fire. *)
+  flow_clean "identity def" "let id x = x\nlet double x = x *. 2.0\n"
+
+let test_flow_magic_unit () =
+  flow_fires "magic-unit" "let f b = add b 2.5e9\n";
+  flow_fires "magic-unit" "let f b = b *. 1e9\n";
+  flow_clean "wrapped" "let f b = add b (U.bps 2.5e9)\n";
+  flow_clean "wrapped qualified" "let t = Eutil.Units.gbps 20e9\n";
+  flow_clean "named constant" "let oc48 = 2.5e9\n";
+  flow_clean "optional default" "let make ?(capacity = 1e9) () = build capacity\n";
+  flow_clean "small literal" "let eps = f 1e-9\n";
+  (* units.ml itself defines the prefixes and is exempt. *)
+  Alcotest.(check (list string)) "units.ml exempt" []
+    (rule_ids (analyze ~file:"lib/util/units.ml" "let giga = scale 1e9\n"))
+
+let test_flow_unit_relabel () =
+  flow_fires "unit-relabel" "let b = U.bps (U.to_float w)\n";
+  flow_fires "unit-relabel" "let b = Eutil.Units.watts (2.0 *. Eutil.Units.to_float x)\n";
+  flow_clean "annotated" "let b = U.bps (U.to_float (x : U.bps U.q))\n";
+  flow_clean "plain wrap" "let b = U.bps (f y)\n"
+
+let test_flow_pragmas_and_catalogue () =
+  flow_clean "pragma same line" "let f a b = a /. b (* lint: allow div-unguarded *)\n";
+  flow_clean "pragma preceding" "(* lint: allow nan-compare *)\nlet bad x = x <> x\n";
+  let ids = List.map fst Check.Flow.rules in
+  Alcotest.(check int) "four analysis rules" 4 (List.length ids);
+  List.iter
+    (fun id -> Alcotest.(check bool) (id ^ " listed") true (List.mem id ids))
+    [ "div-unguarded"; "nan-compare"; "magic-unit"; "unit-relabel" ]
+
+(* Acceptance criterion: the shipped tree is clean. Running from the test
+   sandbox we re-analyze the sources when dune exposes them; otherwise the
+   @analyze alias covers it. *)
+let test_flow_rule_classes_distinct () =
+  let seeded =
+    "let f a b = a /. b\n\
+     let g x = x <> x\n\
+     let h b = add b 2.5e9\n\
+     let k w = U.bps (U.to_float w)\n"
+  in
+  Alcotest.(check (list string)) "all four classes fire on one fixture"
+    [ "div-unguarded"; "magic-unit"; "nan-compare"; "unit-relabel" ]
+    (rule_ids (analyze seeded))
+
 (* ----------------------------- Invariant ---------------------------- *)
 
 let ex = Topo.Example.make ()
@@ -208,12 +315,15 @@ let test_traffic_matrix () =
   Traffic.Matrix.set bad ex.Topo.Example.a ex.Topo.Example.k (-3.0);
   has "tm-negative" (Inv.check_matrix g bad);
   has "tm-dimension" (Inv.check_matrix g (Traffic.Matrix.create (n + 1)));
-  no_findings "gravity matrix" (Inv.check_matrix g (Traffic.Gravity.make g ~total:1e6 ()))
+  no_findings "gravity matrix" (Inv.check_matrix g (Traffic.Gravity.make g ~total:(Eutil.Units.mbps 1.0) ()))
 
 let test_power_model () =
   let good = Power.Model.cisco12000 g in
   no_findings "cisco model" (Inv.check_power good g);
-  let bad = { good with Power.Model.chassis = (fun _ -> -5.0) } in
+  (* Forge a physically impossible model: the checked [Units.watts]
+     constructor would reject NaN but happily carries a negative value, which
+     is exactly what the power-monotone invariant is there to catch. *)
+  let bad = { good with Power.Model.chassis = (fun _ -> Eutil.Units.watts (-5.0)) } in
   has "power-monotone" (Inv.check_power bad g)
 
 (* Framework wiring: precompute validates its own tables when the flag is on
@@ -239,6 +349,19 @@ let () =
           Alcotest.test_case "locations and severity" `Quick test_locations_and_severity;
           Alcotest.test_case "rules catalogue" `Quick test_rules_catalogue;
           Alcotest.test_case "report formats" `Quick test_report_formats;
+          Alcotest.test_case "lexer string edges" `Quick test_lexer_string_edges;
+          Alcotest.test_case "lexer char literals" `Quick test_lexer_char_literals;
+          Alcotest.test_case "lexer numbers and ops" `Quick test_lexer_numbers_and_ops;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "div-unguarded" `Quick test_flow_div_unguarded;
+          Alcotest.test_case "div guards" `Quick test_flow_div_guards;
+          Alcotest.test_case "nan-compare" `Quick test_flow_nan_compare;
+          Alcotest.test_case "magic-unit" `Quick test_flow_magic_unit;
+          Alcotest.test_case "unit-relabel" `Quick test_flow_unit_relabel;
+          Alcotest.test_case "pragmas and catalogue" `Quick test_flow_pragmas_and_catalogue;
+          Alcotest.test_case "rule classes distinct" `Quick test_flow_rule_classes_distinct;
         ] );
       ( "invariant",
         [

@@ -206,40 +206,51 @@ let test_gaps_of_busy () =
     (Power.Sleep.gaps_of_busy ~busy:[] ~horizon:10.0)
 
 let test_energy_bounds () =
-  let busy = [ (0.0, 3.0) ] in
-  let on = Power.Sleep.energy ~active_power:100.0 ~states:[] ~busy ~horizon:10.0 in
-  Alcotest.(check (float 1e-6)) "always on" 1000.0 on;
-  let slept =
-    Power.Sleep.energy ~active_power:100.0 ~states:[ Power.Sleep.nap ] ~busy ~horizon:10.0
+  let module U = Eutil.Units in
+  let energy ~states =
+    U.to_float
+      (Power.Sleep.energy ~active_power:(U.watts 100.0) ~states ~busy:[ (0.0, 3.0) ]
+         ~horizon:10.0)
   in
+  let on = energy ~states:[] in
+  Alcotest.(check (float 1e-6)) "always on" 1000.0 on;
+  let slept = energy ~states:[ Power.Sleep.nap ] in
   Alcotest.(check bool) "sleeping saves" true (slept < on);
   (* Energy is never below the deep-sleep floor. *)
   let floor = (3.0 +. (7.0 *. 0.02)) *. 100.0 in
-  let deep =
-    Power.Sleep.energy ~active_power:100.0 ~states:[ Power.Sleep.deep ] ~busy ~horizon:10.0
-  in
+  let deep = energy ~states:[ Power.Sleep.deep ] in
   Alcotest.(check bool) "above physical floor" true (deep >= floor -. 1e-6)
 
 let test_short_gaps_stay_awake () =
   (* Gaps shorter than the break-even must not enter the state: energy equals
      always-on. *)
+  let module U = Eutil.Units in
   let busy = List.init 50 (fun i -> (float_of_int i *. 0.2, (float_of_int i *. 0.2) +. 0.19)) in
-  let on = Power.Sleep.energy ~active_power:10.0 ~states:[] ~busy ~horizon:10.0 in
-  let with_deep = Power.Sleep.energy ~active_power:10.0 ~states:[ Power.Sleep.deep ] ~busy ~horizon:10.0 in
+  let energy ~states =
+    U.to_float (Power.Sleep.energy ~active_power:(U.watts 10.0) ~states ~busy ~horizon:10.0)
+  in
+  let on = energy ~states:[] in
+  let with_deep = energy ~states:[ Power.Sleep.deep ] in
   Alcotest.(check (float 1e-6)) "deep useless for 10 ms gaps" on with_deep;
   (* But LPI (microsecond wake) exploits them. *)
-  let with_lpi = Power.Sleep.energy ~active_power:10.0 ~states:[ Power.Sleep.lpi ] ~busy ~horizon:10.0 in
+  let with_lpi = energy ~states:[ Power.Sleep.lpi ] in
   Alcotest.(check bool) "lpi helps" true (with_lpi < on)
 
 let test_consolidation_lengthens_gaps () =
   (* The REsPoNse synergy: the same utilisation in longer bursts (traffic
      consolidated elsewhere most of the time) allows deeper states. *)
-  let u = 0.3 in
+  let module U = Eutil.Units in
+  let u = U.ratio 0.3 in
   let fine = Power.Sleep.periodic_busy ~utilisation:u ~period:0.01 ~horizon:100.0 in
   let coarse = Power.Sleep.periodic_busy ~utilisation:u ~period:60.0 ~horizon:100.0 in
   let states = [ Power.Sleep.nap; Power.Sleep.deep ] in
-  let e_fine = Power.Sleep.energy ~active_power:100.0 ~states ~busy:fine ~horizon:100.0 in
-  let e_coarse = Power.Sleep.energy ~active_power:100.0 ~states ~busy:coarse ~horizon:100.0 in
+  let e_fine =
+    U.to_float (Power.Sleep.energy ~active_power:(U.watts 100.0) ~states ~busy:fine ~horizon:100.0)
+  in
+  let e_coarse =
+    U.to_float
+      (Power.Sleep.energy ~active_power:(U.watts 100.0) ~states ~busy:coarse ~horizon:100.0)
+  in
   Alcotest.(check bool)
     (Printf.sprintf "longer gaps save more (%.0f < %.0f)" e_coarse e_fine)
     true (e_coarse < e_fine)
@@ -314,7 +325,7 @@ let test_eate_consolidates () =
   let g = Topo.Geant.make () in
   let power = Power.Model.cisco12000 g in
   let pairs = Traffic.Gravity.random_node_pairs g ~seed:8 ~fraction:0.6 in
-  let tm = Traffic.Gravity.make g ~pairs ~total:6e9 () in
+  let tm = Traffic.Gravity.make g ~pairs ~total:(Eutil.Units.bps 6e9) () in
   let r = Response.Eate.run g power tm in
   Alcotest.(check bool) (Printf.sprintf "saves power (%.1f%%)" r.Response.Eate.power_percent)
     true (r.Response.Eate.power_percent < 100.0);
@@ -330,7 +341,7 @@ let test_eate_vs_response () =
   let g = Topo.Geant.make () in
   let power = Power.Model.cisco12000 g in
   let pairs = Traffic.Gravity.random_node_pairs g ~seed:8 ~fraction:0.6 in
-  let tm = Traffic.Gravity.make g ~pairs ~total:4e9 () in
+  let tm = Traffic.Gravity.make g ~pairs ~total:(Eutil.Units.bps 4e9) () in
   let eate = Response.Eate.run g power tm in
   let tables = Response.Framework.precompute g power ~pairs in
   let rep = Response.Framework.evaluate tables power tm in

@@ -7,13 +7,14 @@ module Sim = Netsim.Sim
 let fig7_config =
   {
     Sim.te =
-      {
-        Response.Te.probe_period = 0.1;
-        util_threshold = 0.9;
-        low_threshold = 0.55;
-        hysteresis = 0.05;
-        shift_fraction = 1.0;
-      };
+      (let module U = Eutil.Units in
+       {
+         Response.Te.probe_period = U.seconds 0.1;
+         util_threshold = U.ratio 0.9;
+         low_threshold = U.ratio 0.55;
+         hysteresis = U.seconds 0.05;
+         shift_fraction = U.ratio 1.0;
+       });
     wake_time = 0.01;
     failure_detection = 0.1;
     idle_timeout = 0.3;
@@ -186,16 +187,21 @@ let test_fattree_sine_power_tracks_demand () =
   let power = Power.Model.commodity_dc g in
   let pairs = Traffic.Sine.fattree_pairs ft Traffic.Sine.Far in
   let tables = Response.Framework.precompute g power ~pairs in
-  let period = 20.0 in
+  let period = Eutil.Units.seconds 20.0 in
   let events =
     List.init 21 (fun i ->
         let t = float_of_int i in
-        Sim.Set_demand (t, Traffic.Sine.fattree ft Traffic.Sine.Far ~peak:4e8 ~period t))
+        Sim.Set_demand (t, Traffic.Sine.fattree ft Traffic.Sine.Far ~peak:(Eutil.Units.bps 4e8) ~period t))
   in
   let config =
     {
       fig7_config with
-      Sim.te = { fig7_config.Sim.te with util_threshold = 0.8; shift_fraction = 0.5 };
+      Sim.te =
+        {
+          fig7_config.Sim.te with
+          util_threshold = Eutil.Units.ratio 0.8;
+          shift_fraction = Eutil.Units.ratio 0.5;
+        };
       sample_interval = 0.25;
       idle_timeout = 1.0;
       wake_time = 0.1;

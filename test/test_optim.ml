@@ -62,7 +62,7 @@ let test_snapshot_restore () =
 
 let test_route_matrix () =
   let g = Topo.Geant.make () in
-  let tm = Traffic.Gravity.make g ~total:20e9 () in
+  let tm = Traffic.Gravity.make g ~total:(Eutil.Units.bps 20e9) () in
   let f = Optim.Feasible.create g in
   Alcotest.(check bool) "moderate load feasible" true (Optim.Feasible.route_matrix f tm);
   Alcotest.(check bool) "utilisation sane" true (Optim.Feasible.max_utilization f <= 1.0 +. 1e-9)
@@ -116,7 +116,7 @@ let test_greedy_infeasible_demand () =
 let test_greedy_deterministic () =
   let g = Topo.Geant.make () in
   let power = Power.Model.cisco12000 g in
-  let tm = Traffic.Gravity.make g ~total:30e9 () in
+  let tm = Traffic.Gravity.make g ~total:(Eutil.Units.bps 30e9) () in
   let a = Option.get (Optim.Minimal.power_down g power tm) in
   let b = Option.get (Optim.Minimal.power_down g power tm) in
   Alcotest.(check bool) "same configuration" true
@@ -127,7 +127,7 @@ let test_greedy_geant_savings () =
      the greedy sheds a substantial fraction of link power. *)
   let g = Topo.Geant.make () in
   let power = Power.Model.cisco12000 g in
-  let tm = Traffic.Gravity.make g ~total:10e9 () in
+  let tm = Traffic.Gravity.make g ~total:(Eutil.Units.bps 10e9) () in
   let r = Option.get (Optim.Minimal.power_down g power tm) in
   Alcotest.(check bool)
     (Printf.sprintf "savings > 10%% (got %.1f%%)" (100.0 -. r.Optim.Minimal.power_percent))
@@ -166,7 +166,7 @@ let test_greedy_powers_off_routers () =
 let test_greente_feasible_and_saves () =
   let g = Topo.Geant.make () in
   let power = Power.Model.cisco12000 g in
-  let tm = Traffic.Gravity.make g ~total:20e9 () in
+  let tm = Traffic.Gravity.make g ~total:(Eutil.Units.bps 20e9) () in
   match Optim.Greente.minimal_subset g power tm with
   | Some r ->
       Alcotest.(check bool) "saves energy" true (r.Optim.Minimal.power_percent < 100.0);
@@ -180,7 +180,7 @@ let test_greente_no_better_than_greedy () =
      (or equal). Allow a small tolerance for tie-breaking noise. *)
   let g = Topo.Geant.make () in
   let power = Power.Model.cisco12000 g in
-  let tm = Traffic.Gravity.make g ~total:20e9 () in
+  let tm = Traffic.Gravity.make g ~total:(Eutil.Units.bps 20e9) () in
   let full = Option.get (Optim.Minimal.power_down g power tm) in
   let ksp = Option.get (Optim.Greente.minimal_subset g power tm) in
   Alcotest.(check bool)
@@ -196,7 +196,7 @@ let test_elastic_near_traffic () =
   let g = ft.Topo.Fattree.graph in
   let power = Power.Model.commodity_dc g in
   (* Low intra-pod traffic: one aggregation switch per pod, cores off or 1. *)
-  let tm = Traffic.Sine.fattree ft Traffic.Sine.Near ~peak:2e8 ~period:100.0 50.0 in
+  let tm = Traffic.Sine.fattree ft Traffic.Sine.Near ~peak:(Eutil.Units.bps 2e8) ~period:(Eutil.Units.seconds 100.0) 50.0 in
   match Optim.Elastic.minimal_subset ft power tm with
   | Some r ->
       let active_aggs =
@@ -217,7 +217,7 @@ let test_elastic_far_traffic_uses_core () =
   let ft = Topo.Fattree.make 4 in
   let g = ft.Topo.Fattree.graph in
   let power = Power.Model.commodity_dc g in
-  let tm = Traffic.Sine.fattree ft Traffic.Sine.Far ~peak:5e8 ~period:100.0 50.0 in
+  let tm = Traffic.Sine.fattree ft Traffic.Sine.Far ~peak:(Eutil.Units.bps 5e8) ~period:(Eutil.Units.seconds 100.0) 50.0 in
   match Optim.Elastic.minimal_subset ft power tm with
   | Some r ->
       let active_cores =
@@ -236,10 +236,10 @@ let test_elastic_tracks_load () =
   let g = ft.Topo.Fattree.graph in
   let power = Power.Model.commodity_dc g in
   let at peak =
-    let tm = Traffic.Sine.fattree ft Traffic.Sine.Far ~peak ~period:100.0 50.0 in
+    let tm = Traffic.Sine.fattree ft Traffic.Sine.Far ~peak ~period:(Eutil.Units.seconds 100.0) 50.0 in
     (Option.get (Optim.Elastic.minimal_subset ft power tm)).Optim.Minimal.power_percent
   in
-  let low = at 1e8 and high = at 9e8 in
+  let low = at (Eutil.Units.bps 1e8) and high = at (Eutil.Units.bps 9e8) in
   Alcotest.(check bool) (Printf.sprintf "power scales (%.0f%% < %.0f%%)" low high) true (low < high)
 
 (* -------------------- Exact MILP cross-validation -------------------- *)
@@ -259,7 +259,7 @@ let test_formulation_triangle () =
       (* 2 chassis + the direct link's port/amplifier power. *)
       let link = (G.arc g (arc_between g 0 1)).G.link in
       Alcotest.(check (float 1e-6)) "power"
-        ((2.0 *. 600.0) +. Power.Model.link_power power g link)
+        ((2.0 *. 600.0) +. Eutil.Units.to_float (Power.Model.link_power power g link))
         e.Optim.Formulation.power_watts
   | _ -> Alcotest.fail "expected optimal"
 
@@ -369,7 +369,7 @@ let prop_greedy_consistent =
       let power = Power.Model.cisco12000 g in
       let pairs = Traffic.Gravity.random_pairs g ~seed ~fraction:0.3 in
       let total = 5e9 +. (Eutil.Prng.float rng *. 30e9) in
-      let tm = Traffic.Gravity.make g ~pairs ~total () in
+      let tm = Traffic.Gravity.make g ~pairs ~total:(Eutil.Units.bps total) () in
       match Optim.Minimal.power_down g power tm with
       | None -> true
       | Some r ->

@@ -3,6 +3,13 @@
 module G = Topo.Graph
 module State = Topo.State
 module Model = Power.Model
+module U = Eutil.Units
+
+(* Tests compare against literal expectations, so unwrap at the assert. *)
+let node_power m g n = U.to_float (Model.node_power m g n)
+let link_power m g l = U.to_float (Model.link_power m g l)
+let full m g = U.to_float (Model.full m g)
+let total m g st = U.to_float (Model.total m g st)
 
 let test_cisco_chassis_share () =
   (* In a typical configuration the chassis is a large share of router power:
@@ -15,9 +22,9 @@ let test_cisco_chassis_share () =
   ignore (G.Builder.add_link b ~capacity:2.5e9 ~latency:1e-4 x z);
   let g = G.Builder.build b in
   let m = Model.cisco12000 g in
-  Alcotest.(check (float 1e-9)) "chassis" 600.0 (Model.node_power m g x);
+  Alcotest.(check (float 1e-9)) "chassis" 600.0 (node_power m g x);
   (* Full power: 3 chassis + 2 links of 2 OC48 ports each. *)
-  Alcotest.(check (float 1e-6)) "full" ((3.0 *. 600.0) +. (2.0 *. 280.0)) (Model.full m g)
+  Alcotest.(check (float 1e-6)) "full" ((3.0 *. 600.0) +. (2.0 *. 280.0)) (full m g)
 
 let test_linecard_steps () =
   let b = G.Builder.create () in
@@ -28,7 +35,7 @@ let test_linecard_steps () =
   ignore (G.Builder.add_link b ~capacity:155e6 ~latency:1e-4 n.(0) n.(4));
   let g = G.Builder.build b in
   let m = Model.cisco12000 g in
-  let port cap l = ignore cap; Model.link_power m g l in
+  let port cap l = ignore cap; link_power m g l in
   (* link power = 2 ports + amplifiers (none at 20 km). *)
   Alcotest.(check (float 1e-9)) "OC192" (2.0 *. 174.0) (port 10e9 0);
   Alcotest.(check (float 1e-9)) "OC48" (2.0 *. 140.0) (port 2.5e9 1);
@@ -44,50 +51,50 @@ let test_amplifiers_from_length () =
   let g = G.Builder.build b in
   let m = Model.cisco12000 g in
   Alcotest.(check (float 1e-9)) "amplifiers" ((2.0 *. 174.0) +. (12.0 *. 1.2))
-    (Model.link_power m g 0)
+    (link_power m g 0)
 
 let test_alternative_hw () =
   let g = Topo.Geant.make () in
   let base = Model.cisco12000 g in
   let alt = Model.alternative_hw g in
-  Alcotest.(check (float 1e-9)) "chassis / 10" (Model.node_power base g 0 /. 10.0)
-    (Model.node_power alt g 0);
-  Alcotest.(check bool) "full power lower" true (Model.full alt g < Model.full base g)
+  Alcotest.(check (float 1e-9)) "chassis / 10" (node_power base g 0 /. 10.0)
+    (node_power alt g 0);
+  Alcotest.(check bool) "full power lower" true (full alt g < full base g)
 
 let test_total_follows_state () =
   let g = Topo.Geant.make () in
   let m = Model.cisco12000 g in
   let st = State.all_on g in
-  Alcotest.(check (float 1e-6)) "all on = full" (Model.full m g) (Model.total m g st);
+  Alcotest.(check (float 1e-6)) "all on = full" (full m g) (total m g st);
   Alcotest.(check (float 1e-9)) "percent" 100.0 (Model.percent_of_full m g st);
   (* Switch one link off: total drops exactly by that link's power (no router
      turns off because GEANT is 2-connected at PT). *)
-  let before = Model.total m g st in
+  let before = total m g st in
   State.set_link g st 0 false;
-  let after = Model.total m g st in
-  Alcotest.(check (float 1e-6)) "link delta" (Model.link_power m g 0) (before -. after);
+  let after = total m g st in
+  Alcotest.(check (float 1e-6)) "link delta" (link_power m g 0) (before -. after);
   (* All off consumes nothing. *)
-  Alcotest.(check (float 1e-9)) "all off" 0.0 (Model.total m g (State.all_off g))
+  Alcotest.(check (float 1e-9)) "all off" 0.0 (total m g (State.all_off g))
 
 let test_hosts_free_in_commodity_model () =
   let ft = Topo.Fattree.make 4 in
   let g = ft.Topo.Fattree.graph in
   let m = Model.commodity_dc g in
   Array.iter
-    (fun h -> Alcotest.(check (float 1e-9)) "host chassis" 0.0 (Model.node_power m g h))
+    (fun h -> Alcotest.(check (float 1e-9)) "host chassis" 0.0 (node_power m g h))
     ft.Topo.Fattree.hosts;
   (* Idle overhead dominates: a switch with zero traffic still consumes 90 %
      of its budget once powered. *)
   let c = ft.Topo.Fattree.cores.(0) in
-  Alcotest.(check (float 1e-9)) "core chassis" 135.0 (Model.node_power m g c)
+  Alcotest.(check (float 1e-9)) "core chassis" 135.0 (node_power m g c)
 
 let test_commodity_switch_split () =
   let ft = Topo.Fattree.make 4 in
   let g = ft.Topo.Fattree.graph in
-  let m = Model.commodity_dc ~peak:100.0 g in
+  let m = Model.commodity_dc ~peak:(U.watts 100.0) g in
   (* Fully active fat-tree: every switch consumes exactly its peak budget:
      0.9*peak chassis + degree * (0.1*peak/degree) ports. 20 switches. *)
-  Alcotest.(check (float 1e-6)) "full = 20 switch peaks" (20.0 *. 100.0) (Model.full m g)
+  Alcotest.(check (float 1e-6)) "full = 20 switch peaks" (20.0 *. 100.0) (full m g)
 
 let test_state_of_loads () =
   let g = Topo.Example.line 3 in
@@ -106,7 +113,7 @@ let prop_power_monotone =
       let g = Topo.Geant.make () in
       let m = Model.cisco12000 g in
       let st = State.all_on g in
-      let prev = ref (Model.total m g st) in
+      let prev = ref (total m g st) in
       let ok = ref true in
       (* Turn links off one by one in random order; power must never rise. *)
       let order = Array.init (G.link_count g) (fun l -> l) in
@@ -114,11 +121,38 @@ let prop_power_monotone =
       Array.iter
         (fun l ->
           State.set_link g st l false;
-          let now = Model.total m g st in
+          let now = total m g st in
           if now > !prev +. 1e-9 then ok := false;
           prev := now)
         order;
       !ok)
+
+(* Property: every model output is finite on generated topologies under
+   random sleep states — the units layer bars NaN at construction, and the
+   models must not mint one (nor an infinity) downstream. *)
+let prop_power_finite =
+  QCheck.Test.make ~name:"power outputs always finite" ~count:100
+    QCheck.(pair (int_range 2 24) (int_range 0 10_000))
+    (fun (nodes, seed) ->
+      let g = Topo.Example.line nodes in
+      let rng = Eutil.Prng.create seed in
+      let st = State.all_on g in
+      for l = 0 to G.link_count g - 1 do
+        if Eutil.Prng.float rng < 0.3 then State.set_link g st l false
+      done;
+      List.for_all
+        (fun m ->
+          Float.is_finite (full m g)
+          && Float.is_finite (total m g st)
+          && (let ok = ref true in
+              for n = 0 to G.node_count g - 1 do
+                if not (Float.is_finite (node_power m g n)) then ok := false
+              done;
+              for l = 0 to G.link_count g - 1 do
+                if not (Float.is_finite (link_power m g l)) then ok := false
+              done;
+              !ok))
+        [ Model.cisco12000 g; Model.alternative_hw g; Model.commodity_dc g ])
 
 let () =
   Alcotest.run "power"
@@ -137,5 +171,6 @@ let () =
           Alcotest.test_case "follows state" `Quick test_total_follows_state;
           Alcotest.test_case "state of loads" `Quick test_state_of_loads;
           QCheck_alcotest.to_alcotest prop_power_monotone;
+          QCheck_alcotest.to_alcotest prop_power_finite;
         ] );
     ]

@@ -148,7 +148,7 @@ let test_on_demand_ospf_matches_spf () =
 let test_on_demand_solver_pins_always_on () =
   let pairs = all_pairs geant in
   let ao = Response.Always_on.compute geant geant_power ~pairs () in
-  let peak = Traffic.Gravity.make geant ~total:40e9 () in
+  let peak = Traffic.Gravity.make geant ~total:(Eutil.Units.bps 40e9) () in
   let od =
     Response.On_demand.compute geant geant_power ~always_on:ao ~pairs
       (Response.On_demand.Solver peak)
@@ -225,7 +225,9 @@ let test_precompute_structure () =
 let test_evaluate_energy_proportionality () =
   let t = Lazy.force geant_tables in
   let power_at total =
-    (Response.Framework.evaluate t geant_power (Traffic.Gravity.make geant ~total ())).Response.Framework.power_percent
+    (Response.Framework.evaluate t geant_power
+       (Traffic.Gravity.make geant ~total:(Eutil.Units.bps total) ()))
+      .Response.Framework.power_percent
   in
   let low = power_at 2e9 and mid = power_at 20e9 and high = power_at 60e9 in
   Alcotest.(check bool) (Printf.sprintf "monotone %.0f <= %.0f <= %.0f" low mid high) true
@@ -238,9 +240,9 @@ let test_evaluate_energy_proportionality () =
 
 let test_evaluate_activates_levels () =
   let t = Lazy.force geant_tables in
-  let low = Response.Framework.evaluate t geant_power (Traffic.Gravity.make geant ~total:2e9 ()) in
+  let low = Response.Framework.evaluate t geant_power (Traffic.Gravity.make geant ~total:(Eutil.Units.bps 2e9) ()) in
   Alcotest.(check int) "always-on only at low load" 0 low.Response.Framework.levels_activated;
-  let high = Response.Framework.evaluate t geant_power (Traffic.Gravity.make geant ~total:80e9 ()) in
+  let high = Response.Framework.evaluate t geant_power (Traffic.Gravity.make geant ~total:(Eutil.Units.bps 80e9) ()) in
   Alcotest.(check bool) "on-demand at high load" true
     (high.Response.Framework.levels_activated >= 1)
 
@@ -248,7 +250,7 @@ let test_carried_fraction_always_on_about_half () =
   (* Section 4.1: always-on paths alone accommodate about 50 % of the volume
      the OSPF paths can carry. Accept a wide band: the claim is qualitative. *)
   let t = Lazy.force geant_tables in
-  let base = Traffic.Gravity.make geant ~total:1e9 () in
+  let base = Traffic.Gravity.make geant ~total:(Eutil.Units.bps 1e9) () in
   let ao_only = Response.Framework.carried_fraction t geant_power ~base ~max_level:0 in
   let all = Response.Framework.carried_fraction t geant_power ~base ~max_level:10 in
   Alcotest.(check bool) "all levels carry more" true (all > ao_only);
@@ -345,7 +347,7 @@ let test_te_failure_moves_everything () =
 
 let test_te_consolidates_after_hysteresis () =
   let ex, tables = fig3_tables () in
-  let cfg = { Response.Te.default_config with hysteresis = 1.0 } in
+  let cfg = { Response.Te.default_config with hysteresis = Eutil.Units.seconds 1.0 } in
   let te = Response.Te.create tables cfg in
   let a = ex.Topo.Example.a and k = ex.Topo.Example.k in
   (* Force traffic to the on-demand path via a failure, then heal it. *)
@@ -400,7 +402,7 @@ let test_always_on_oblivious_has_more_capacity_than_epsilon () =
     let config = { Response.Framework.default with always_on_mode = mode } in
     Response.Framework.precompute ~config geant geant_power ~pairs
   in
-  let base = Traffic.Gravity.make geant ~pairs ~total:1e9 () in
+  let base = Traffic.Gravity.make geant ~pairs ~total:(Eutil.Units.bps 1e9) () in
   let carried mode =
     Response.Framework.carried_fraction (tables_of mode) geant_power ~base ~max_level:0
   in
@@ -421,7 +423,7 @@ let test_on_demand_solver_fallback_diversity () =
     |> List.filteri (fun i _ -> i mod 3 = 0)
   in
   let ao = Response.Always_on.compute g power ~pairs () in
-  let peak = Traffic.Gravity.make g ~pairs ~total:8e9 () in
+  let peak = Traffic.Gravity.make g ~pairs ~total:(Eutil.Units.bps 8e9) () in
   let od =
     Response.On_demand.compute g power ~always_on:ao ~pairs (Response.On_demand.Solver peak)
   in
@@ -438,7 +440,7 @@ let test_on_demand_solver_fallback_diversity () =
 
 let test_framework_loads_consistent () =
   let t = Lazy.force geant_tables in
-  let tm = Traffic.Gravity.make geant ~total:10e9 () in
+  let tm = Traffic.Gravity.make geant ~total:(Eutil.Units.bps 10e9) () in
   let loads = Response.Framework.loads t tm in
   Alcotest.(check int) "one load per arc" (G.arc_count geant) (Array.length loads);
   let carried = Array.fold_left ( +. ) 0.0 loads in

@@ -78,7 +78,7 @@ let prop_matrix_dense_sparse_agree =
 
 let test_gravity_total_and_proportionality () =
   let g = Topo.Geant.make () in
-  let m = Traffic.Gravity.make g ~total:100.0 () in
+  let m = Traffic.Gravity.make g ~total:(Eutil.Units.bps 100.0) () in
   Alcotest.(check (float 1e-6)) "normalised" 100.0 (Matrix.total m);
   (* DE (hub, many 10G links) originates more than CY (two 622M links). *)
   let w = Traffic.Gravity.weights g in
@@ -90,7 +90,7 @@ let test_gravity_total_and_proportionality () =
 let test_gravity_pairs_subset () =
   let g = Topo.Geant.make () in
   let pairs = Traffic.Gravity.random_pairs g ~seed:1 ~fraction:0.2 in
-  let m = Traffic.Gravity.make g ~pairs ~total:10.0 () in
+  let m = Traffic.Gravity.make g ~pairs ~total:(Eutil.Units.bps 10.0) () in
   Alcotest.(check int) "only selected pairs" (List.length pairs) (Matrix.flow_count m);
   Alcotest.(check (float 1e-9)) "normalised" 10.0 (Matrix.total m)
 
@@ -125,11 +125,13 @@ let test_random_node_pairs_minimum () =
   Alcotest.(check int) "one pair each way" 2 (List.length pairs)
 
 let test_sine_wave () =
-  Alcotest.(check (float 1e-9)) "zero at t=0" 0.0 (Traffic.Sine.demand_at ~peak:10.0 ~period:100.0 0.0);
-  Alcotest.(check (float 1e-9)) "peak at half period" 10.0
-    (Traffic.Sine.demand_at ~peak:10.0 ~period:100.0 50.0);
-  Alcotest.(check (float 1e-9)) "back to zero" 0.0
-    (Traffic.Sine.demand_at ~peak:10.0 ~period:100.0 100.0)
+  let module U = Eutil.Units in
+  let demand_at t =
+    U.to_float (Traffic.Sine.demand_at ~peak:(U.bps 10.0) ~period:(U.seconds 100.0) t)
+  in
+  Alcotest.(check (float 1e-9)) "zero at t=0" 0.0 (demand_at 0.0);
+  Alcotest.(check (float 1e-9)) "peak at half period" 10.0 (demand_at 50.0);
+  Alcotest.(check (float 1e-9)) "back to zero" 0.0 (demand_at 100.0)
 
 let test_sine_fattree_locality () =
   let ft = Topo.Fattree.make 4 in
@@ -214,13 +216,31 @@ let prop_gravity_proportions =
       QCheck.assume (o <> d);
       let g = Topo.Geant.make () in
       let w = Traffic.Gravity.weights g in
-      let m = Traffic.Gravity.make g ~total:1.0 () in
+      let m = Traffic.Gravity.make g ~total:(Eutil.Units.bps 1.0) () in
       let x = 5 and y = 16 in
       QCheck.assume (x <> o || y <> d);
       QCheck.assume (x <> y);
       let lhs = Matrix.get m o d *. w.(x) *. w.(y) in
       let rhs = Matrix.get m x y *. w.(o) *. w.(d) in
       abs_float (lhs -. rhs) <= 1e-9 *. max (abs_float lhs) (abs_float rhs))
+
+(* Property: every demand a generator emits is finite on generated
+   topologies — NaN/inf cannot leak out of the gravity model or the
+   synthetic trace generator whatever the topology size or seed. *)
+let matrix_finite m = Matrix.fold_values m ~init:true ~f:(fun ok v -> ok && Float.is_finite v)
+
+let prop_generated_demands_finite =
+  QCheck.Test.make ~name:"generated demands always finite" ~count:30
+    QCheck.(pair (int_range 2 16) (int_range 0 1000))
+    (fun (nodes, seed) ->
+      let g = Topo.Example.line nodes in
+      let gravity = Traffic.Gravity.make g ~total:(Eutil.Units.gbps 1.0) () in
+      let trace = Traffic.Synth.geant_like g ~seed ~days:1 () in
+      let ok = ref (matrix_finite gravity) in
+      for i = 0 to Traffic.Trace.length trace - 1 do
+        if not (matrix_finite (Traffic.Trace.at trace i)) then ok := false
+      done;
+      !ok)
 
 let () =
   Alcotest.run "traffic"
@@ -255,5 +275,6 @@ let () =
           Alcotest.test_case "geant-like diurnal" `Quick test_geant_like_diurnal;
           Alcotest.test_case "google-like change statistic" `Quick test_google_like_change_statistic;
           Alcotest.test_case "change ccdf monotone" `Quick test_change_ccdf_monotone;
+          QCheck_alcotest.to_alcotest prop_generated_demands_finite;
         ] );
     ]

@@ -1,8 +1,82 @@
-(* Tests for the utility substrate: PRNG, heap, statistics. *)
+(* Tests for the utility substrate: PRNG, heap, statistics, typed units. *)
 
 module Prng = Eutil.Prng
 module Heap = Eutil.Heap
 module Stats = Eutil.Stats
+module U = Eutil.Units
+
+(* ------------------------------- units ------------------------------- *)
+
+(* Negative-compilation proof that the phantom dimensions are real: each of
+   the lines below is rejected by the type checker with a dimension
+   mismatch. Uncomment any one of them to watch the build fail.
+
+     let _bad_sum = U.( +: ) (U.watts 1.0) (U.bps 1.0)
+     let _bad_ratio : U.ratio U.q = U.( /: ) (U.watts 1.0) (U.seconds 1.0)
+     let _bad_scale = U.( *: ) (U.watts 1.0) (U.watts 1.0)
+     let _bad_energy = U.( *@ ) (U.bps 1.0) (U.seconds 1.0)
+     let _bad_mixup : U.watts U.q = U.bps 600.0
+     let _no_plain_add = U.watts 1.0 +. U.watts 1.0
+*)
+
+let magnitude = Alcotest.testable Fmt.float (fun a b -> abs_float (a -. b) <= 1e-9)
+
+let test_units_constructors_reject_nan () =
+  List.iter
+    (fun (name, f) ->
+      Alcotest.check_raises name
+        (Invalid_argument ("Units." ^ name ^ ": NaN is not a quantity"))
+        (fun () -> ignore (f Float.nan)))
+    [
+      ("watts", fun x -> U.to_float (U.watts x));
+      ("bps", fun x -> U.to_float (U.bps x));
+      ("ratio", fun x -> U.to_float (U.ratio x));
+      ("seconds", fun x -> U.to_float (U.seconds x));
+      ("joules", fun x -> U.to_float (U.joules x));
+    ];
+  (* Infinity is a legal magnitude (breakeven gaps use it). *)
+  Alcotest.(check bool) "infinity allowed" true (U.to_float (U.seconds infinity) = infinity);
+  (* [unsafe] is the explicit forgery hatch: it must not check. *)
+  Alcotest.(check bool) "unsafe NaN" true (Float.is_nan (U.to_float (U.unsafe Float.nan)))
+
+let test_units_prefixes () =
+  Alcotest.check magnitude "kbps" 1.0e3 (U.to_float (U.kbps 1.0));
+  Alcotest.check magnitude "mbps" 2.0e6 (U.to_float (U.mbps 2.0));
+  Alcotest.check magnitude "gbps" 2.5e9 (U.to_float (U.gbps 2.5))
+
+let test_units_additive () =
+  Alcotest.check magnitude "+:" 740.0 (U.to_float U.(watts 600.0 +: watts 140.0));
+  Alcotest.check magnitude "-:" 460.0 (U.to_float U.(watts 600.0 -: watts 140.0));
+  Alcotest.check magnitude "zero is neutral" 42.0 (U.to_float U.(bps 42.0 +: zero))
+
+let test_units_ratio_algebra () =
+  Alcotest.check magnitude "*:" 45.0 (U.to_float U.(ratio 0.9 *: watts 50.0));
+  Alcotest.check magnitude "/:" 0.5 (U.to_float U.(bps 5e8 /: bps 1e9));
+  Alcotest.check magnitude "percent" 50.0 (U.percent U.(bps 5e8 /: bps 1e9));
+  Alcotest.check_raises "zero divisor raises"
+    (Invalid_argument "Units./: : zero divisor would mint a NaN/inf ratio")
+    (fun () -> ignore U.(watts 1.0 /: watts 0.0));
+  (match U.div_opt (U.watts 1.0) (U.watts 0.0) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "div_opt must refuse a zero divisor");
+  (match U.div_opt (U.watts 1.0) (U.watts 4.0) with
+  | Some r -> Alcotest.check magnitude "div_opt value" 0.25 (U.to_float r)
+  | None -> Alcotest.fail "div_opt lost a live quotient")
+
+let test_units_energy_and_scale () =
+  Alcotest.check magnitude "*@ watts x seconds" 1200.0
+    (U.to_float U.(watts 600.0 *@ seconds 2.0));
+  Alcotest.check magnitude "scale" 120.0 (U.to_float (U.scale 1.2 (U.watts 100.0)));
+  Alcotest.check_raises "scale cannot mint NaN"
+    (Invalid_argument "Units.scale: NaN is not a quantity")
+    (fun () -> ignore (U.scale Float.nan (U.watts 1.0)))
+
+let test_units_comparisons () =
+  Alcotest.(check int) "compare_q" (-1) (U.compare_q (U.bps 1.0) (U.bps 2.0));
+  Alcotest.check magnitude "min_q" 1.0 (U.to_float (U.min_q (U.bps 1.0) (U.bps 2.0)));
+  Alcotest.check magnitude "max_q" 2.0 (U.to_float (U.max_q (U.bps 1.0) (U.bps 2.0)));
+  Alcotest.(check bool) "is_zero zero" true (U.is_zero U.zero);
+  Alcotest.(check bool) "is_zero nonzero" false (U.is_zero (U.bps 1.0))
 
 let test_prng_deterministic () =
   let a = Prng.create 123 and b = Prng.create 123 in
@@ -104,6 +178,15 @@ let prop_percentile_bounds =
 let () =
   Alcotest.run "util"
     [
+      ( "units",
+        [
+          Alcotest.test_case "constructors reject NaN" `Quick test_units_constructors_reject_nan;
+          Alcotest.test_case "prefixes" `Quick test_units_prefixes;
+          Alcotest.test_case "additive algebra" `Quick test_units_additive;
+          Alcotest.test_case "ratio algebra" `Quick test_units_ratio_algebra;
+          Alcotest.test_case "energy and scale" `Quick test_units_energy_and_scale;
+          Alcotest.test_case "comparisons" `Quick test_units_comparisons;
+        ] );
       ( "prng",
         [
           Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
