@@ -19,6 +19,10 @@ let fast = Sys.getenv_opt "REPRO_FAST" <> None
 let note fmt = Format.printf ("  note: " ^^ fmt ^^ "@.")
 
 let time_of_day seconds =
+  (* Clamp rather than truncate: int_of_float rounds towards zero, so a
+     negative input would otherwise render as "day 1 -1:-1". NaN compares
+     false against everything and also clamps to zero. *)
+  let seconds = if seconds > 0.0 then seconds else 0.0 in
   let day = int_of_float (seconds /. 86_400.0) in
   let rem = seconds -. (float_of_int day *. 86_400.0) in
   let h = int_of_float (rem /. 3600.0) in

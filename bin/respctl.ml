@@ -81,6 +81,28 @@ let with_topology name f =
       1
   | Ok t -> f t (Lazy.force t.graph)
 
+(* ------------------------- observability dump ------------------------ *)
+
+let metrics_enum = [ ("text", `Text); ("json", `Json); ("prom", `Prom) ]
+
+let metrics_opt_arg =
+  Arg.(
+    value
+    & opt (some (enum metrics_enum)) None
+    & info [ "metrics" ] ~docv:"FORMAT"
+        ~doc:"Enable observability for the run and dump the collected metrics (text, json or prom).")
+
+let render_metrics fmt =
+  let samples = Obs.Registry.snapshot Obs.Registry.default in
+  match fmt with
+  | `Text -> Obs.Export.to_text samples
+  | `Json -> Obs.Export.to_json samples
+  | `Prom -> Obs.Export.to_prometheus samples
+
+let obs_enable_for = function Some _ -> Obs.set_enabled true | None -> ()
+
+let obs_dump_for = function Some fmt -> print_string (render_metrics fmt) | None -> ()
+
 (* ------------------------------- topo ------------------------------- *)
 
 let topo_cmd =
@@ -138,8 +160,9 @@ let power_cmd =
     Arg.(
       value & opt float 5.0 & info [ "load" ] ~docv:"GBPS" ~doc:"Total offered load in Gbit/s.")
   in
-  let run name seed fraction load =
+  let run name seed fraction load metrics =
     with_topology name (fun t g ->
+        obs_enable_for metrics;
         let power = power_of t g in
         let pairs = pairs_of g ~seed ~fraction in
         let tables = Response.Framework.precompute g power ~pairs in
@@ -156,11 +179,12 @@ let power_cmd =
         | Some opt ->
             Format.printf "optimal subset:   %.1f%% of full power@." opt.Optim.Minimal.power_percent
         | None -> Format.printf "optimal subset:   demand infeasible@.");
+        obs_dump_for metrics;
         0)
   in
   let doc = "Evaluate the steady-state power for a gravity demand." in
   Cmd.v (Cmd.info "power" ~doc)
-    Term.(const run $ topology_arg $ seed_arg $ fraction_arg $ load_arg)
+    Term.(const run $ topology_arg $ seed_arg $ fraction_arg $ load_arg $ metrics_opt_arg)
 
 (* ------------------------------ replay ------------------------------ *)
 
@@ -168,8 +192,9 @@ let replay_cmd =
   let days_arg =
     Arg.(value & opt int 3 & info [ "days" ] ~docv:"DAYS" ~doc:"Length of the synthetic trace.")
   in
-  let run name seed fraction days =
+  let run name seed fraction days metrics =
     with_topology name (fun t g ->
+        obs_enable_for metrics;
         let power = power_of t g in
         let pairs = pairs_of g ~seed ~fraction in
         let trace = Traffic.Synth.geant_like g ~days ~pairs () in
@@ -185,11 +210,12 @@ let replay_cmd =
         List.iter
           (fun (x, c) -> Format.printf "  top-%d paths: %.1f%%@." x c)
           (Response.Critical_paths.coverage_curve r.Response.Replay.ranking ~max:5);
+        obs_dump_for metrics;
         0)
   in
   let doc = "Replay a synthetic demand trace with per-interval recomputation." in
   Cmd.v (Cmd.info "replay" ~doc)
-    Term.(const run $ topology_arg $ seed_arg $ fraction_arg $ days_arg)
+    Term.(const run $ topology_arg $ seed_arg $ fraction_arg $ days_arg $ metrics_opt_arg)
 
 
 (* ------------------------------- lint ------------------------------- *)
@@ -320,6 +346,118 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run $ topology_arg $ seed_arg $ fraction_arg $ beta_arg $ json_arg)
 
+(* ------------------------------- stats ------------------------------ *)
+
+(* A fixed workload that touches every instrumented layer: precompute and
+   evaluate (routing + core + power), a node-bounded exact MILP (lp), and a
+   short simulator scenario whose demand swing forces TE shifts, wake
+   transitions and idle sleeps (te + netsim). *)
+let stats_workload t g ~seed ~fraction =
+  let power = power_of t g in
+  let pairs = pairs_of g ~seed ~fraction in
+  let tables = Response.Framework.precompute g power ~pairs in
+  let tm = Traffic.Gravity.make g ~pairs ~total:(Eutil.Units.gbps 5.0) () in
+  let _ = Response.Framework.evaluate tables power tm in
+  (* The exact formulation is only tractable for small instances (see
+     Optim.Formulation), so the LP layer is exercised on the paper's Fig. 3
+     example network rather than the selected topology. *)
+  let ex = Topo.Example.make () in
+  let exg = ex.Topo.Example.graph in
+  let milp_flow = Eutil.Units.to_float (Eutil.Units.mbps 4.0) in
+  let milp_tm =
+    Traffic.Matrix.of_flows (Topo.Graph.node_count exg)
+      [
+        (ex.Topo.Example.a, ex.Topo.Example.k, milp_flow);
+        (ex.Topo.Example.c, ex.Topo.Example.k, milp_flow);
+      ]
+  in
+  let _ = Optim.Formulation.solve ~max_nodes:64 exg (Power.Model.cisco12000 exg) milp_tm in
+  (* Scenario built to cross every TE and sleep/wake code path: load the
+     network, fail a loaded always-on link (failover shift + wakes of the
+     alternates), repair it (it re-enters asleep), go fully idle (idle
+     timeouts put links to sleep), then bring the demand back (data-plane
+     wakes). *)
+  let cap_sum =
+    Topo.Graph.fold_links g ~init:0.0 ~f:(fun acc l -> acc +. Topo.Graph.link_capacity g l)
+  in
+  let high = Traffic.Gravity.make g ~pairs ~total:(Eutil.Units.bps (0.3 *. cap_sum)) () in
+  let idle = Traffic.Matrix.create (Topo.Graph.node_count g) in
+  let victim =
+    match Response.Tables.entries tables with
+    | e :: _ -> Some (Topo.Path.links g e.Response.Tables.always_on).(0)
+    | [] -> None
+  in
+  let failure =
+    match victim with
+    | Some l -> [ Netsim.Sim.Fail_link (0.5, l); Netsim.Sim.Repair_link (1.5, l) ]
+    | None -> []
+  in
+  let config =
+    {
+      Netsim.Sim.default_config with
+      Netsim.Sim.idle_timeout = 0.4;
+      sample_interval = 0.1;
+      te =
+        {
+          Response.Te.default_config with
+          Response.Te.hysteresis = Eutil.Units.seconds 0.2;
+          shift_fraction = Eutil.Units.ratio 0.5;
+        };
+    }
+  in
+  let r =
+    Netsim.Sim.run ~config ~tables ~power
+      ~events:
+        (failure
+        @ [
+            Netsim.Sim.Set_demand (0.0, high);
+            Netsim.Sim.Set_demand (2.0, idle);
+            Netsim.Sim.Set_demand (3.0, high);
+          ])
+      ~duration:4.0 ()
+  in
+  (tables, r)
+
+let stats_cmd =
+  let fmt_arg =
+    Arg.(
+      value
+      & opt (enum metrics_enum) `Text
+      & info [ "metrics" ] ~docv:"FORMAT" ~doc:"Output format: text, json or prom.")
+  in
+  let validate_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "validate" ]
+          ~doc:"Also check that the JSON export is well-formed; exit non-zero if not.")
+  in
+  let spans_arg =
+    Arg.(value & flag & info [ "spans" ] ~doc:"Print the span trace tree after the metrics.")
+  in
+  let run name seed fraction fmt validate spans =
+    with_topology name (fun t g ->
+        Obs.set_enabled true;
+        let _tables, r = stats_workload t g ~seed ~fraction in
+        ignore r.Netsim.Sim.mean_power_percent;
+        print_string (render_metrics fmt);
+        if spans then print_string ("\n" ^ Obs.Span.to_text ());
+        if validate then begin
+          match Obs.Export.validate_json (render_metrics `Json) with
+          | Ok () -> 0
+          | Error e ->
+              Format.eprintf "stats: JSON export invalid: %s@." e;
+              1
+        end
+        else 0)
+  in
+  let doc =
+    "Run an instrumented workload (precompute, evaluate, bounded exact MILP, simulator \
+     scenario) and dump the collected metrics."
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run $ topology_arg $ seed_arg $ fraction_arg $ fmt_arg $ validate_arg $ spans_arg)
+
 (* ------------------------------ export ------------------------------ *)
 
 let export_cmd =
@@ -354,6 +492,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            topo_cmd; tables_cmd; power_cmd; replay_cmd; export_cmd; lint_cmd; analyze_cmd;
-            check_cmd;
+            topo_cmd; tables_cmd; power_cmd; replay_cmd; stats_cmd; export_cmd; lint_cmd;
+            analyze_cmd; check_cmd;
           ]))

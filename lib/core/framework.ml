@@ -23,6 +23,17 @@ let default =
     on_demand = Stress 0.2;
   }
 
+let m_precomputes =
+  Obs.Metric.Counter.create ~help:"Full table precomputations" "core_precomputes_total"
+
+let m_table_entries =
+  Obs.Metric.Gauge.create ~help:"Entries in the most recently built table set"
+    "core_table_entries"
+
+let m_evaluations =
+  Obs.Metric.Counter.create ~help:"Traffic-matrix evaluations against tables"
+    "core_evaluations_total"
+
 (* Debug-time validation of freshly installed tables (Check.Invariant). On
    by default so every test exercises it; RESPONSE_CHECKS=0 (or flipping the
    ref) disables it for production-scale precomputations. *)
@@ -49,48 +60,60 @@ let validate_tables g ~pairs tables =
 
 let precompute ?(config = default) g power ~pairs =
   if config.n_paths < 2 then invalid_arg "Framework.precompute: n_paths >= 2";
-  let always_on =
-    Always_on.compute ~margin:config.margin ~mode:config.always_on_mode
-      ?latency_beta:config.latency_beta g power ~pairs ()
-  in
-  let rounds = max 1 (config.n_paths - 2) in
-  let variant =
-    match config.on_demand with
-    | Solver tm -> On_demand.Solver tm
-    | Stress q -> On_demand.Stress q
-    | Ospf -> On_demand.Ospf
-    | Heuristic tm -> On_demand.Heuristic tm
-  in
-  let on_demand = On_demand.compute ~margin:config.margin ~rounds g power ~always_on ~pairs variant in
-  let protect = Hashtbl.create (List.length pairs) in
-  List.iter
-    (fun od ->
-      match Hashtbl.find_opt always_on.Always_on.paths od with
-      | None -> ()
-      | Some ao ->
-          let ods = Option.value (Hashtbl.find_opt on_demand od) ~default:[] in
-          Hashtbl.replace protect od (ao :: ods))
-    pairs;
-  let failover = Failover.compute g ~protect ~pairs in
-  let entries =
-    List.filter_map
-      (fun (o, d) ->
-        match Hashtbl.find_opt always_on.Always_on.paths (o, d) with
-        | None -> None
-        | Some ao ->
-            Some
-              {
-                Tables.origin = o;
-                dest = d;
-                always_on = ao;
-                on_demand = Option.value (Hashtbl.find_opt on_demand (o, d)) ~default:[];
-                failover = Hashtbl.find_opt failover (o, d);
-              })
-      pairs
-  in
-  let tables = Tables.make g entries in
-  if !install_checks then validate_tables g ~pairs tables;
-  tables
+  Obs.Span.with_ "core.precompute" (fun () ->
+      let always_on =
+        Obs.Span.with_ "core.precompute.always_on" (fun () ->
+            Always_on.compute ~margin:config.margin ~mode:config.always_on_mode
+              ?latency_beta:config.latency_beta g power ~pairs ())
+      in
+      let rounds = max 1 (config.n_paths - 2) in
+      let variant =
+        match config.on_demand with
+        | Solver tm -> On_demand.Solver tm
+        | Stress q -> On_demand.Stress q
+        | Ospf -> On_demand.Ospf
+        | Heuristic tm -> On_demand.Heuristic tm
+      in
+      let on_demand =
+        Obs.Span.with_ "core.precompute.on_demand" (fun () ->
+            On_demand.compute ~margin:config.margin ~rounds g power ~always_on ~pairs variant)
+      in
+      let protect = Hashtbl.create (List.length pairs) in
+      List.iter
+        (fun od ->
+          match Hashtbl.find_opt always_on.Always_on.paths od with
+          | None -> ()
+          | Some ao ->
+              let ods = Option.value (Hashtbl.find_opt on_demand od) ~default:[] in
+              Hashtbl.replace protect od (ao :: ods))
+        pairs;
+      let failover =
+        Obs.Span.with_ "core.precompute.failover" (fun () ->
+            Failover.compute g ~protect ~pairs)
+      in
+      let entries =
+        List.filter_map
+          (fun (o, d) ->
+            match Hashtbl.find_opt always_on.Always_on.paths (o, d) with
+            | None -> None
+            | Some ao ->
+                Some
+                  {
+                    Tables.origin = o;
+                    dest = d;
+                    always_on = ao;
+                    on_demand = Option.value (Hashtbl.find_opt on_demand (o, d)) ~default:[];
+                    failover = Hashtbl.find_opt failover (o, d);
+                  })
+          pairs
+      in
+      let tables = Tables.make g entries in
+      if !install_checks then
+        Obs.Span.with_ "core.precompute.validate" (fun () ->
+            validate_tables g ~pairs tables);
+      Obs.Metric.Counter.incr m_precomputes;
+      Obs.Metric.Gauge.set_int m_table_entries (List.length entries);
+      tables)
 
 type evaluation = {
   state : Topo.State.t;
@@ -161,6 +184,7 @@ let place_flows ?threshold ?max_level tables tm =
   (loads, !levels, List.rev !congested, !placed)
 
 let evaluate ?threshold tables power tm =
+  Obs.Metric.Counter.incr m_evaluations;
   let g = Tables.graph tables in
   let loads, levels_activated, congested, _ = place_flows ?threshold tables tm in
   let link_load l =

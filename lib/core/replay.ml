@@ -12,6 +12,17 @@ type t = {
   recomputations : int;
 }
 
+let m_steps =
+  Obs.Metric.Counter.create ~help:"Trace intervals replayed" "core_replay_steps_total"
+
+let m_recomputations =
+  Obs.Metric.Counter.create ~help:"Replay intervals whose network state changed"
+    "core_replay_recomputations_total"
+
+let m_step_seconds =
+  Obs.Metric.Histogram.create ~help:"Wall time of one replay interval"
+    "core_replay_step_seconds"
+
 let run ?margin ?(solver = `Greedy) g power trace =
   let margin = match margin with Some m -> m | None -> Eutil.Units.ratio 1.0 in
   let ranking = Critical_paths.create g in
@@ -27,6 +38,8 @@ let run ?margin ?(solver = `Greedy) g power trace =
       { time = 0.0; state = Topo.State.all_on g; power_percent = 100.0; changed = false }
   in
   Traffic.Trace.iter trace ~f:(fun i time tm ->
+      Obs.Metric.Histogram.time m_step_seconds @@ fun () ->
+      Obs.Metric.Counter.incr m_steps;
       let state, power_percent, routing =
         match solve tm with
         | Some r ->
@@ -44,7 +57,10 @@ let run ?margin ?(solver = `Greedy) g power trace =
         | None -> false
         | Some (prev_state, _) -> not (Topo.State.equal prev_state state)
       in
-      if changed then incr recomputations;
+      if changed then begin
+        incr recomputations;
+        Obs.Metric.Counter.incr m_recomputations
+      end;
       previous := Some (state, power_percent);
       intervals.(i) <- { time; state; power_percent; changed });
   { intervals; trace_interval = trace.Traffic.Trace.interval; ranking; recomputations = !recomputations }

@@ -19,6 +19,28 @@ let default_config =
 
 type action = Wake of int list | Set_split of float array
 
+let m_probes =
+  Obs.Metric.Counter.create ~help:"TE probe reports processed" "te_probes_total"
+
+let m_shifts =
+  Obs.Metric.Counter.create ~help:"Probes that changed a traffic split" "te_shifts_total"
+
+let m_failovers =
+  Obs.Metric.Counter.create ~help:"Probes that moved traffic off a failed path"
+    "te_failovers_total"
+
+let m_overload_shifts =
+  Obs.Metric.Counter.create ~help:"Shifts triggered by the overload threshold"
+    "te_overload_shifts_total"
+
+let m_consolidations =
+  Obs.Metric.Counter.create ~help:"Shifts that consolidated traffic downwards"
+    "te_consolidations_total"
+
+let m_wake_requests =
+  Obs.Metric.Counter.create ~help:"Links TE asked the network to wake"
+    "te_wake_requests_total"
+
 type pair_state = {
   paths : Topo.Path.t array;
   mutable split : float array;
@@ -85,6 +107,7 @@ let sleeping_links g usable split paths =
   List.sort_uniq Int.compare !links
 
 let on_probe t ~origin ~dest ~now ~link_util ~link_usable =
+  Obs.Metric.Counter.incr m_probes;
   match Hashtbl.find_opt t.pairs (origin, dest) with
   | None -> []
   | Some ps ->
@@ -112,6 +135,7 @@ let on_probe t ~origin ~dest ~now ~link_util ~link_usable =
         end
       done;
       if !failed_share > 0.0 then begin
+        Obs.Metric.Counter.incr m_failovers;
         (* A failover event must not count towards the consolidation
            hysteresis: the low-load streak restarts. *)
         ps.below_since <- None;
@@ -154,6 +178,7 @@ let on_probe t ~origin ~dest ~now ~link_util ~link_usable =
         done;
         match !target with
         | Some (i, _) ->
+            Obs.Metric.Counter.incr m_overload_shifts;
             let moved = shift_fraction *. split.(!hottest) in
             split.(!hottest) <- split.(!hottest) -. moved;
             split.(i) <- split.(i) +. moved;
@@ -181,6 +206,7 @@ let on_probe t ~origin ~dest ~now ~link_util ~link_usable =
                 split.(!top) <- split.(!top) -. moved;
                 split.(!lower) <- split.(!lower) +. moved;
                 if split.(!top) < 1e-9 then split.(!top) <- 0.0;
+                Obs.Metric.Counter.incr m_consolidations;
                 changed := true;
                 ps.below_since <- Some now
               end
@@ -193,5 +219,7 @@ let on_probe t ~origin ~dest ~now ~link_util ~link_usable =
         let split = normalise split in
         ps.split <- split;
         let wakes = sleeping_links g link_usable split ps.paths in
+        Obs.Metric.Counter.incr m_shifts;
+        Obs.Metric.Counter.add_int m_wake_requests (List.length wakes);
         [ Wake wakes; Set_split (Array.copy split) ]
       end

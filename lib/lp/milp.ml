@@ -8,6 +8,14 @@ type outcome =
 
 let int_eps = 1e-6
 
+let m_nodes =
+  Obs.Metric.Counter.create ~help:"Branch-and-bound nodes explored"
+    "lp_bnb_nodes_total"
+
+let m_solve_seconds =
+  Obs.Metric.Histogram.create ~help:"Wall time of one MILP solve"
+    "lp_milp_solve_seconds"
+
 let most_fractional integer x =
   let best = ref None in
   Array.iteri
@@ -29,7 +37,7 @@ let bound_row n j coeff rel rhs =
   row.(j) <- coeff;
   (row, rel, rhs)
 
-let solve ?(max_nodes = 50_000) { lp; integer } =
+let solve_raw ?(max_nodes = 50_000) { lp; integer } =
   if Array.length integer <> lp.Simplex.n_vars then invalid_arg "Milp.solve: integer flags";
   let incumbent = ref None in
   let nodes = ref 0 in
@@ -72,9 +80,18 @@ let solve ?(max_nodes = 50_000) { lp; integer } =
           end
     end
   in
-  match branch [] with
-  | () -> (
-      match !incumbent with
-      | Some (x, objective) -> Optimal { x; objective }
-      | None -> if !hit_limit then Node_limit else Infeasible)
-  | exception Exit -> Unbounded
+  let outcome =
+    match branch [] with
+    | () -> (
+        match !incumbent with
+        | Some (x, objective) -> Optimal { x; objective }
+        | None -> if !hit_limit then Node_limit else Infeasible)
+    | exception Exit -> Unbounded
+  in
+  if Obs.Control.enabled () then Obs.Metric.Counter.add_int m_nodes !nodes;
+  outcome
+
+let solve ?max_nodes p =
+  if Obs.Control.enabled () then
+    Obs.Metric.Histogram.time m_solve_seconds (fun () -> solve_raw ?max_nodes p)
+  else solve_raw ?max_nodes p

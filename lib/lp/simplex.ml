@@ -13,6 +13,20 @@ type outcome =
 
 let eps = 1e-9
 
+(* Pivots are tallied unconditionally into a module counter (one int add —
+   cheaper than a registry lookup) and the delta is published per solve. *)
+let pivots_ever = ref 0
+
+let m_pivots =
+  Obs.Metric.Counter.create ~help:"Simplex pivot operations" "lp_simplex_pivots_total"
+
+let m_solves =
+  Obs.Metric.Counter.create ~help:"Simplex solve invocations" "lp_simplex_solves_total"
+
+let m_solve_seconds =
+  Obs.Metric.Histogram.create ~help:"Wall time of one simplex solve"
+    "lp_simplex_solve_seconds"
+
 (* The tableau holds the constraint rows in canonical (basic) form; [basis]
    maps each row to its basic column. [cost] is the reduced-cost row (length
    ncols) and [obj] the current objective value. Pivoting maintains the
@@ -26,6 +40,7 @@ type tableau = {
 }
 
 let pivot tb ~row ~col =
+  incr pivots_ever;
   let m = Array.length tb.t in
   let r = tb.t.(row) in
   let piv = r.(col) in
@@ -101,7 +116,7 @@ let run_phase tb =
   in
   iterate (200_000 + (2000 * (m + tb.ncols)))
 
-let solve { n_vars; objective; rows } =
+let solve_raw { n_vars; objective; rows } =
   let rows =
     List.map
       (fun (coeffs, rel, b) ->
@@ -218,3 +233,13 @@ let solve { n_vars; objective; rows } =
             Array.fold_left ( +. ) 0.0 (Array.mapi (fun j c -> c *. x.(j)) objective)
           in
           Optimal { x; objective = objective_value })
+
+let solve p =
+  if Obs.Control.enabled () then begin
+    let before = !pivots_ever in
+    let outcome = Obs.Metric.Histogram.time m_solve_seconds (fun () -> solve_raw p) in
+    Obs.Metric.Counter.incr m_solves;
+    Obs.Metric.Counter.add_int m_pivots (!pivots_ever - before);
+    outcome
+  end
+  else solve_raw p

@@ -40,6 +40,7 @@ type result = {
   mean_power_percent : float;
   delivered_fraction : float;
   wake_count : int;
+  sleep_count : int;
   energy_joules : float;
 }
 
@@ -53,6 +54,34 @@ type ev =
   | Repair of int
   | Wake_done of int
   | Take_sample
+
+(* Event-loop children are resolved once at module init so the hot loop pays
+   one gated counter add per event, not a label lookup. *)
+let m_events =
+  Obs.Metric.Family.counter ~help:"Simulator events processed by type"
+    ~label_names:[ "type" ] "netsim_events_total"
+
+let ev_probe = Obs.Metric.Family.labels m_events [ "probe" ]
+let ev_demand = Obs.Metric.Family.labels m_events [ "demand_change" ]
+let ev_fail = Obs.Metric.Family.labels m_events [ "fail" ]
+let ev_detect = Obs.Metric.Family.labels m_events [ "detect" ]
+let ev_repair = Obs.Metric.Family.labels m_events [ "repair" ]
+let ev_wake_done = Obs.Metric.Family.labels m_events [ "wake_done" ]
+let ev_sample = Obs.Metric.Family.labels m_events [ "sample" ]
+
+let m_sleep_transitions =
+  Obs.Metric.Counter.create ~help:"Link transitions into the sleeping state"
+    "netsim_sleep_transitions_total"
+
+let m_wake_transitions =
+  Obs.Metric.Counter.create ~help:"Link transitions out of the sleeping state"
+    "netsim_wake_transitions_total"
+
+let m_power_watts =
+  Obs.Metric.Gauge.create ~help:"Network power at the last sample" "netsim_power_watts"
+
+let m_links_active =
+  Obs.Metric.Gauge.create ~help:"Active links at the last sample" "netsim_links_active"
 
 type sim = {
   g : Topo.Graph.t;
@@ -73,6 +102,7 @@ type sim = {
   mutable link_achieved : float array;
   mutable wakes_wanted : int list;  (* links data-plane traffic needs woken *)
   mutable wake_count : int;
+  mutable sleep_count : int;
 }
 
 let link_fully_active s p =
@@ -163,6 +193,7 @@ let wake_link s l =
   if (not s.failed.(l)) && s.status.(l) = Sleeping then begin
     s.status.(l) <- Waking (s.now +. s.cfg.wake_time);
     s.wake_count <- s.wake_count + 1;
+    Obs.Metric.Counter.incr m_wake_transitions;
     Eutil.Heap.push s.queue (s.now +. s.cfg.wake_time) (Wake_done l);
     invalidate s
   end
@@ -187,6 +218,8 @@ let housekeeping s =
       if status = Active && (not s.failed.(l)) && s.now -. s.last_loaded.(l) > s.cfg.idle_timeout
       then begin
         s.status.(l) <- Sleeping;
+        s.sleep_count <- s.sleep_count + 1;
+        Obs.Metric.Counter.incr m_sleep_transitions;
         invalidate s
       end)
     s.status
@@ -219,9 +252,12 @@ let take_sample s power =
   compute_rates s;
   let st = power_state s in
   let rate_total = List.fold_left (fun acc (_, r) -> acc +. r) 0.0 s.pair_rates in
+  let watts = Eutil.Units.to_float (Power.Model.total power s.g st) in
+  Obs.Metric.Gauge.set m_power_watts watts;
+  Obs.Metric.Gauge.set_int m_links_active (Topo.State.active_links st);
   {
     time = s.now;
-    power_watts = Eutil.Units.to_float (Power.Model.total power s.g st);
+    power_watts = watts;
     power_percent = Power.Model.percent_of_full power s.g st;
     demand_total = Traffic.Matrix.total s.demand;
     rate_total;
@@ -252,6 +288,7 @@ let run ?(config = default_config) ?initial_splits ~tables ~power ~events ~durat
       link_achieved = [||];
       wakes_wanted = [];
       wake_count = 0;
+      sleep_count = 0;
     }
   in
   (* Initially the links used by current splits are active. *)
@@ -309,16 +346,20 @@ let run ?(config = default_config) ?initial_splits ~tables ~power ~events ~durat
         s.now <- max s.now t;
         (match ev with
         | Probe (o, d) ->
+            Obs.Metric.Counter.incr ev_probe;
             handle_probe s o d;
             Eutil.Heap.push s.queue (s.now +. t_probe) (Probe (o, d))
         | Demand_change tm ->
+            Obs.Metric.Counter.incr ev_demand;
             s.demand <- tm;
             invalidate s
         | Fail l ->
+            Obs.Metric.Counter.incr ev_fail;
             s.failed.(l) <- true;
             Eutil.Heap.push s.queue (s.now +. config.failure_detection) (Detect l);
             invalidate s
         | Detect l ->
+            Obs.Metric.Counter.incr ev_detect;
             s.known_failed.(l) <- true;
             (* Affected agents react promptly: immediate probe for pairs whose
                current split crosses the failed link. *)
@@ -337,17 +378,25 @@ let run ?(config = default_config) ?initial_splits ~tables ~power ~events ~durat
                     if uses then Eutil.Heap.push s.queue s.now (Probe (o, d)))
               pairs
         | Repair l ->
+            Obs.Metric.Counter.incr ev_repair;
             s.failed.(l) <- false;
             s.known_failed.(l) <- false;
+            if s.status.(l) <> Sleeping then begin
+              s.sleep_count <- s.sleep_count + 1;
+              Obs.Metric.Counter.incr m_sleep_transitions
+            end;
             s.status.(l) <- Sleeping;
             invalidate s
         | Wake_done l ->
+            Obs.Metric.Counter.incr ev_wake_done;
             (match s.status.(l) with
             | Waking ready when ready <= s.now +. 1e-9 ->
                 s.status.(l) <- Active;
                 invalidate s
             | _ -> ())
-        | Take_sample -> samples := take_sample s power :: !samples);
+        | Take_sample ->
+            Obs.Metric.Counter.incr ev_sample;
+            samples := take_sample s power :: !samples);
         loop ()
   in
   loop ();
@@ -367,4 +416,11 @@ let run ?(config = default_config) ?initial_splits ~tables ~power ~events ~durat
       (float_of_int s.wake_count *. config.transition_energy)
       samples
   in
-  { samples; mean_power_percent; delivered_fraction; wake_count = s.wake_count; energy_joules }
+  {
+    samples;
+    mean_power_percent;
+    delivered_fraction;
+    wake_count = s.wake_count;
+    sleep_count = s.sleep_count;
+    energy_joules;
+  }

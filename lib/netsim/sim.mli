@@ -55,6 +55,7 @@ type result = {
   mean_power_percent : float;  (** time-averaged over the run *)
   delivered_fraction : float;  (** total delivered bits / total demanded bits *)
   wake_count : int;  (** link wake transitions over the run *)
+  sleep_count : int;  (** link transitions into the sleeping state *)
   energy_joules : float;
       (** integrated element power plus transition energy — the quantity an
           aggressive idle timeout trades against (many transitions) *)

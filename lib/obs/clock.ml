@@ -1,0 +1,18 @@
+let default_source = Unix.gettimeofday
+
+let source = ref default_source
+
+(* Highest time seen so far: a source stepping backwards must not make a
+   span duration negative. *)
+let floor_s = ref neg_infinity
+
+let set_source f =
+  source := f;
+  floor_s := neg_infinity
+
+let reset_source () = set_source default_source
+
+let now_s () =
+  let t = !source () in
+  if t > !floor_s then floor_s := t;
+  !floor_s

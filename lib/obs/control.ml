@@ -1,0 +1,5 @@
+let flag = ref (Sys.getenv_opt "RESPONSE_OBS" = Some "1")
+
+let enabled () = !flag
+
+let set_enabled b = flag := b

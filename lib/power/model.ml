@@ -94,7 +94,25 @@ let total m g st =
 
 let full m g = total m g (Topo.State.all_on g)
 
+let m_nodes_awake =
+  Obs.Metric.Gauge.create ~help:"Nodes awake in the last evaluated state"
+    "power_nodes_awake"
+
+let m_links_awake =
+  Obs.Metric.Gauge.create ~help:"Links awake in the last evaluated state"
+    "power_links_awake"
+
+let m_links_asleep =
+  Obs.Metric.Gauge.create ~help:"Links asleep in the last evaluated state"
+    "power_links_asleep"
+
 let percent_of_full m g st =
+  if Obs.Control.enabled () then begin
+    Obs.Metric.Gauge.set_int m_nodes_awake (Topo.State.active_nodes st);
+    let awake = Topo.State.active_links st in
+    Obs.Metric.Gauge.set_int m_links_awake awake;
+    Obs.Metric.Gauge.set_int m_links_asleep (Topo.Graph.link_count g - awake)
+  end;
   let f = full m g in
   match U.div_opt (total m g st) f with
   | None -> 0.0

@@ -2,18 +2,35 @@ type result = { dist : float array; prev_arc : int array }
 
 let default_weight arc = arc.Topo.Graph.latency
 
+(* Heap traffic is tallied into locals (an int add per op) and flushed to
+   the registry once per run, so the hot loop carries no observability
+   calls. *)
+let m_runs =
+  Obs.Metric.Counter.create ~help:"Dijkstra single-source invocations"
+    "routing_dijkstra_runs_total"
+
+let m_heap_pushes =
+  Obs.Metric.Counter.create ~help:"Heap pushes across all Dijkstra runs"
+    "routing_heap_pushes_total"
+
+let m_heap_pops =
+  Obs.Metric.Counter.create ~help:"Heap pops across all Dijkstra runs"
+    "routing_heap_pops_total"
+
 let run g ?(weight = default_weight) ?(active = fun _ -> true) ~src () =
   let n = Topo.Graph.node_count g in
   let dist = Array.make n infinity in
   let prev_arc = Array.make n (-1) in
   let done_ = Array.make n false in
   let heap : int Eutil.Heap.t = Eutil.Heap.create () in
+  let pushes = ref 1 and pops = ref 0 in
   dist.(src) <- 0.0;
   Eutil.Heap.push heap 0.0 src;
   let rec loop () =
     match Eutil.Heap.pop heap with
     | None -> ()
     | Some (d, u) ->
+        incr pops;
         if not done_.(u) then begin
           done_.(u) <- true;
           let out = Topo.Graph.out_arcs g u in
@@ -32,7 +49,10 @@ let run g ?(weight = default_weight) ?(active = fun _ -> true) ~src () =
                   then begin
                     dist.(v) <- nd;
                     prev_arc.(v) <- aid;
-                    if not done_.(v) then Eutil.Heap.push heap nd v
+                    if not done_.(v) then begin
+                      incr pushes;
+                      Eutil.Heap.push heap nd v
+                    end
                   end
                 end
               end)
@@ -42,6 +62,11 @@ let run g ?(weight = default_weight) ?(active = fun _ -> true) ~src () =
         else loop ()
   in
   loop ();
+  if Obs.Control.enabled () then begin
+    Obs.Metric.Counter.incr m_runs;
+    Obs.Metric.Counter.add_int m_heap_pushes !pushes;
+    Obs.Metric.Counter.add_int m_heap_pops !pops
+  end;
   { dist; prev_arc }
 
 let path_to g res dst =

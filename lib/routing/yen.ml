@@ -1,6 +1,13 @@
 let path_weight g weight p =
   Array.fold_left (fun acc a -> acc +. weight (Topo.Graph.arc g a)) 0.0 p.Topo.Path.arcs
 
+let m_runs =
+  Obs.Metric.Counter.create ~help:"Yen k-shortest-path invocations" "routing_yen_runs_total"
+
+let m_path_hops =
+  Obs.Metric.Histogram.create ~help:"Hop count of paths accepted by Yen"
+    "routing_yen_path_hops"
+
 let k_shortest g ?weight ?(active = fun _ -> true) ~src ~dst ~k () =
   let weight =
     match weight with Some w -> w | None -> fun a -> a.Topo.Graph.latency
@@ -76,5 +83,14 @@ let k_shortest g ?weight ?(active = fun _ -> true) ~src ~dst ~k () =
                  accepted := best :: !accepted
            done
          with Exit -> ());
-        List.rev !accepted
+        let paths = List.rev !accepted in
+        if Obs.Control.enabled () then begin
+          Obs.Metric.Counter.incr m_runs;
+          List.iter
+            (fun p ->
+              Obs.Metric.Histogram.observe m_path_hops
+                (float_of_int (Array.length p.Topo.Path.arcs)))
+            paths
+        end;
+        paths
   end

@@ -217,6 +217,35 @@ let test_fattree_sine_power_tracks_demand () =
   Alcotest.(check bool) "delivered most demand" true (r.Sim.delivered_fraction > 0.85)
 
 
+let test_obs_transition_counters () =
+  (* The observability counters must agree exactly with the transition counts
+     the simulator itself reports. Scenario: the initial always-on links idle
+     out and sleep, then demand at t = 2 wakes them through the data plane. *)
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_enabled false)
+    (fun () ->
+      let read name =
+        Option.value (Obs.Registry.value Obs.Registry.default name) ~default:0.0
+      in
+      let wake0 = read "netsim_wake_transitions_total" in
+      let sleep0 = read "netsim_sleep_transitions_total" in
+      let ex, tables = Fixtures.fig3_tables () in
+      let demand = Fixtures.fig7_demand ex in
+      let r =
+        Sim.run ~config:fig7_config ~tables ~power:(power_of ex)
+          ~events:[ Sim.Set_demand (2.0, demand) ]
+          ~duration:4.0 ()
+      in
+      Alcotest.(check bool) "scenario has sleeps" true (r.Sim.sleep_count > 0);
+      Alcotest.(check bool) "scenario has wakes" true (r.Sim.wake_count > 0);
+      Alcotest.(check int) "wake counter matches result"
+        r.Sim.wake_count
+        (int_of_float (read "netsim_wake_transitions_total" -. wake0));
+      Alcotest.(check int) "sleep counter matches result"
+        r.Sim.sleep_count
+        (int_of_float (read "netsim_sleep_transitions_total" -. sleep0)))
+
 (* Property: on random demands over the Fig. 3 topology the simulator keeps
    its physical invariants — achieved rate never exceeds demand, power stays
    within [0, 100] %, delivery within [0, 1]. *)
@@ -266,6 +295,7 @@ let () =
           Alcotest.test_case "demand wakes paths" `Quick test_demand_wakes_sleeping_paths;
           Alcotest.test_case "overload activates on-demand" `Quick test_overload_activates_on_demand_paths;
           Alcotest.test_case "fat-tree sine" `Slow test_fattree_sine_power_tracks_demand;
+          Alcotest.test_case "obs transition counters" `Quick test_obs_transition_counters;
           QCheck_alcotest.to_alcotest prop_sim_invariants;
         ] );
     ]
