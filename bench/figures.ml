@@ -335,7 +335,8 @@ let fig7 () =
     {
       Sim.te =
         {
-          Response.Te.probe_period = U.seconds 0.1;
+          Response.Te.default_config with
+           Response.Te.probe_period = U.seconds 0.1;
           util_threshold = U.ratio 0.9;
           low_threshold = U.ratio 0.55;
           hysteresis = U.seconds 0.05;
@@ -393,6 +394,7 @@ let fig8_run ~tables ~power ~demands ~step ~duration =
     {
       Sim.te =
         {
+          Response.Te.default_config with
           Response.Te.probe_period = U.seconds 0.1;
           util_threshold = U.ratio 0.85;
           low_threshold = U.ratio 0.4;
@@ -723,6 +725,7 @@ let ablations () =
         {
           Sim.te =
             {
+              Response.Te.default_config with
               Response.Te.probe_period = U.seconds t_probe;
               util_threshold = U.ratio 0.9;
               low_threshold = U.ratio 0.55;

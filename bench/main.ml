@@ -30,6 +30,7 @@ let sections : (string * (unit -> unit)) list =
     ("butterfly", Extensions.butterfly);
     ("openflow", Extensions.openflow);
     ("eate", Extensions.eate);
+    ("chaos", Extensions.chaos);
     ("micro", Micro.run);
   ]
 

@@ -458,6 +458,137 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(const run $ topology_arg $ seed_arg $ fraction_arg $ fmt_arg $ validate_arg $ spans_arg)
 
+(* ------------------------------- chaos ------------------------------ *)
+
+let chaos_cmd =
+  let trials_arg =
+    Arg.(value & opt int 3 & info [ "trials" ] ~docv:"K" ~doc:"Independent trials (seed, seed+1, ...).")
+  in
+  let mtbf_arg =
+    Arg.(
+      value
+      & opt float 3.0
+      & info [ "mtbf" ] ~docv:"S" ~doc:"Per-link mean time between failures, seconds.")
+  in
+  let mttr_arg =
+    Arg.(
+      value & opt float 0.5 & info [ "mttr" ] ~docv:"S" ~doc:"Per-link mean time to repair, seconds.")
+  in
+  let node_mtbf_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "node-mtbf" ] ~docv:"S"
+          ~doc:"Enable node (chassis) failures with this MTBF; all incident links fail together.")
+  in
+  let node_mttr_arg =
+    Arg.(
+      value & opt float 1.0 & info [ "node-mttr" ] ~docv:"S" ~doc:"Node mean time to repair, seconds.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 10.0 & info [ "duration" ] ~docv:"S" ~doc:"Simulated seconds per trial.")
+  in
+  let load_arg =
+    Arg.(
+      value & opt float 5.0 & info [ "load" ] ~docv:"GBPS" ~doc:"Total offered load in Gbit/s.")
+  in
+  let flap_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "flap" ] ~doc:"Add a flapping link (chosen from the seed) cycling every second.")
+  in
+  let srlg_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "srlg" ] ~docv:"N"
+          ~doc:"Add $(docv) random shared-risk groups of two links failing together.")
+  in
+  let surge_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "surge" ] ~docv:"FACTOR"
+          ~doc:"Scale the demand by $(docv) for a fifth of the run, starting mid-run.")
+  in
+  let run name seed fraction trials mtbf mttr node_mtbf node_mttr duration load flap srlg
+      surge json =
+    with_topology name (fun t g ->
+        let power = power_of t g in
+        let pairs = pairs_of g ~seed ~fraction in
+        let tables = Response.Framework.precompute g power ~pairs in
+        let base = Traffic.Gravity.make g ~pairs ~total:(Eutil.Units.gbps load) () in
+        let spec =
+          {
+            Fault.Scenario.default with
+            Fault.Scenario.seed;
+            duration;
+            link_faults = Some { Fault.Scenario.mtbf; mttr };
+            node_faults =
+              Option.map (fun m -> { Fault.Scenario.mtbf = m; mttr = node_mttr }) node_mtbf;
+            srlgs =
+              (if srlg <= 0 then []
+               else
+                 Fault.Scenario.random_srlgs g
+                   (Eutil.Prng.create (seed lxor 0x5126))
+                   ~groups:srlg ~size:2);
+            srlg_faults =
+              (if srlg <= 0 then None
+               else Some { Fault.Scenario.mtbf = mtbf *. 2.0; mttr });
+            flapping =
+              (if flap then
+                 Some
+                   {
+                     Fault.Scenario.flap_link = None;
+                     flap_period = 1.0;
+                     flap_cycles = int_of_float duration;
+                     flap_start = duration /. 4.0;
+                   }
+               else None);
+            surges =
+              (match surge with
+              | None -> []
+              | Some f ->
+                  [
+                    {
+                      Fault.Scenario.surge_at = duration /. 2.0;
+                      surge_factor = f;
+                      surge_duration = duration /. 5.0;
+                    };
+                  ]);
+          }
+        in
+        let report = Fault.Harness.run ~tables ~power ~base ~spec ~trials () in
+        if json then print_string (Fault.Harness.to_json report ^ "\n")
+        else begin
+          let open Fault.Harness in
+          Format.printf "chaos %s: %d trial(s) x %.1f s, base seed %d@." t.tname trials duration
+            report.base_seed;
+          Format.printf "availability:      %.4f (%d outage(s))@." report.availability
+            report.outages;
+          Format.printf "delivered:         %.2f%% of offered traffic (lost %.3e bits)@."
+            (100.0 *. report.delivered_fraction)
+            report.lost_bits;
+          Format.printf "recovery time:     p50 %.2f s, p99 %.2f s, max %.2f s@."
+            report.recovery_p50 report.recovery_p99 report.recovery_max;
+          Format.printf "sleep ratio:       %.3f (mean power %.1f%% of full)@." report.sleep_ratio
+            report.mean_power_percent;
+          Format.printf "rejected wakes:    %d@." report.rejected_wakes;
+          Format.printf "fallback routes:   %d@." report.fallback_routes
+        end;
+        0)
+  in
+  let doc =
+    "Run seeded fault-injection trials (link/node/SRLG failures, flaps, surges) through the \
+     simulator and report availability, loss and recovery times."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const run $ topology_arg $ seed_arg $ fraction_arg $ trials_arg $ mtbf_arg $ mttr_arg
+      $ node_mtbf_arg $ node_mttr_arg $ duration_arg $ load_arg $ flap_arg $ srlg_arg
+      $ surge_arg $ json_arg)
+
 (* ------------------------------ export ------------------------------ *)
 
 let export_cmd =
@@ -492,6 +623,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            topo_cmd; tables_cmd; power_cmd; replay_cmd; stats_cmd; export_cmd; lint_cmd;
-            analyze_cmd; check_cmd;
+            topo_cmd; tables_cmd; power_cmd; replay_cmd; chaos_cmd; stats_cmd; export_cmd;
+            lint_cmd; analyze_cmd; check_cmd;
           ]))

@@ -35,6 +35,7 @@ let () =
       Sim.te =
         (let module U = Eutil.Units in
          {
+           Response.Te.default_config with
            Response.Te.probe_period = U.seconds 0.1;
            util_threshold = U.ratio 0.9;
            low_threshold = U.ratio 0.55;

@@ -24,3 +24,27 @@ let vulnerable_pairs g tables =
           in
           if common <> [] then Some (e.Tables.origin, e.Tables.dest) else None)
     (Tables.entries tables)
+
+(* Interior (transit) nodes of a path; endpoint loss is not a routing
+   failure, so origins and destinations do not count. *)
+let interior_nodes g p =
+  let nodes = Topo.Path.nodes g p in
+  if Array.length nodes <= 2 then []
+  else Array.to_list (Array.sub nodes 1 (Array.length nodes - 2))
+
+let node_vulnerable_pairs g tables =
+  List.filter_map
+    (fun e ->
+      (* A pair is node-vulnerable iff some transit node lies on every
+         installed path: a chassis loss there takes out all of the pair's
+         links at once, which no per-link disjointness protects against. *)
+      match Array.to_list (Tables.paths e) with
+      | [] -> None
+      | first :: rest ->
+          let common =
+            interior_nodes g first
+            |> List.filter (fun v ->
+                   List.for_all (fun p -> List.mem v (interior_nodes g p)) rest)
+          in
+          if common <> [] then Some (e.Tables.origin, e.Tables.dest) else None)
+    (Tables.entries tables)

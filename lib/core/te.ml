@@ -6,6 +6,8 @@ type config = {
   low_threshold : U.ratio U.q;
   hysteresis : U.seconds U.q;
   shift_fraction : U.ratio U.q;
+  panic_retries : int;
+  panic_backoff : U.seconds U.q;
 }
 
 let default_config =
@@ -15,9 +17,15 @@ let default_config =
     low_threshold = U.ratio 0.4;
     hysteresis = U.seconds 0.2;
     shift_fraction = U.ratio 0.5;
+    panic_retries = 3;
+    panic_backoff = U.seconds 0.1;
   }
 
-type action = Wake of int list | Set_split of float array
+type action =
+  | Wake of int list
+  | Set_split of float array
+  | Use_fallback
+  | Cancel_fallback
 
 let m_probes =
   Obs.Metric.Counter.create ~help:"TE probe reports processed" "te_probes_total"
@@ -41,10 +49,40 @@ let m_wake_requests =
   Obs.Metric.Counter.create ~help:"Links TE asked the network to wake"
     "te_wake_requests_total"
 
+let m_panics =
+  Obs.Metric.Counter.create ~help:"Pairs that lost every installed path and entered panic mode"
+    "te_panics_total"
+
+let m_panic_wakes =
+  Obs.Metric.Counter.create ~help:"Bounded-retry wake rounds issued from panic mode"
+    "te_panic_wakes_total"
+
+let m_fallbacks =
+  Obs.Metric.Counter.create
+    ~help:"Panic escalations to the dynamic shortest-usable-path fallback" "te_fallbacks_total"
+
+let m_recovery_seconds =
+  Obs.Metric.Histogram.create
+    ~help:"Time from a pair losing every installed path to a probe seeing one usable again"
+    "te_recovery_seconds"
+
+(* Escalation state of a pair whose installed paths are all unusable: bounded
+   wake retries with exponential backoff, then a dynamic-fallback request.
+   [d_since] anchors the recovery-time histogram. *)
+type degraded = {
+  d_since : float;
+  mutable d_retries : int;
+  mutable d_next_retry : float;
+  mutable d_fallback : bool;
+}
+
+type mode = Normal | Degraded of degraded
+
 type pair_state = {
   paths : Topo.Path.t array;
   mutable split : float array;
   mutable below_since : float option;  (* start of the current low-load streak *)
+  mutable mode : mode;
 }
 
 type t = { cfg : config; g : Topo.Graph.t; pairs : (int * int, pair_state) Hashtbl.t }
@@ -59,7 +97,7 @@ let create tables cfg =
       split.(0) <- 1.0;
       Hashtbl.replace pairs
         (e.Tables.origin, e.Tables.dest)
-        { paths; split; below_since = None })
+        { paths; split; below_since = None; mode = Normal })
     (Tables.entries tables);
   { cfg; g; pairs }
 
@@ -81,7 +119,8 @@ let force_split t o d split =
       if Array.length split <> Array.length ps.paths then
         invalid_arg "Te.force_split: wrong arity";
       ps.split <- normalise_copy split;
-      ps.below_since <- None
+      ps.below_since <- None;
+      ps.mode <- Normal
 
 let path_usable g usable p = Array.for_all (fun l -> usable l) (Topo.Path.links g p)
 
@@ -122,6 +161,69 @@ let on_probe t ~origin ~dest ~now ~link_util ~link_usable =
       let n = Array.length ps.paths in
       let usable i = path_usable g link_usable ps.paths.(i) in
       let util i = path_util g link_util ps.paths.(i) in
+      let any_usable =
+        let rec scan i = i < n && (usable i || scan (i + 1)) in
+        scan 0
+      in
+      (* Escalation ladder for a pair with no usable installed path at all:
+         bounded wake retries (the links may merely be believed-failed or
+         asleep), each retry doubling the backoff, then one Use_fallback
+         request asking the caller to route over the shortest usable path
+         outside the installed set. Either way the pair's split is zeroed so
+         the unserved traffic is measured as loss, not silently dropped. *)
+      let panic_step d =
+        if d.d_fallback then []
+        else if now +. 1e-12 < d.d_next_retry then []
+        else if d.d_retries >= cfg.panic_retries then begin
+          d.d_fallback <- true;
+          Obs.Metric.Counter.incr m_fallbacks;
+          [ Use_fallback ]
+        end
+        else begin
+          d.d_retries <- d.d_retries + 1;
+          d.d_next_retry <-
+            now +. (U.to_float cfg.panic_backoff *. float_of_int (1 lsl d.d_retries));
+          Obs.Metric.Counter.incr m_panic_wakes;
+          let all_links =
+            Array.to_list ps.paths
+            |> List.concat_map (fun p -> Array.to_list (Topo.Path.links g p))
+            |> List.sort_uniq Int.compare
+          in
+          Obs.Metric.Counter.add_int m_wake_requests (List.length all_links);
+          [ Wake all_links ]
+        end
+      in
+      let enter_panic () =
+        let d = { d_since = now; d_retries = 0; d_next_retry = now; d_fallback = false } in
+        ps.mode <- Degraded d;
+        ps.below_since <- None;
+        Obs.Metric.Counter.incr m_panics;
+        let had_traffic = Array.exists (fun s -> s > 0.0) ps.split in
+        ps.split <- Array.make n 0.0;
+        (if had_traffic then [ Set_split (Array.make n 0.0) ] else []) @ panic_step d
+      in
+      let recover d =
+        Obs.Metric.Histogram.observe m_recovery_seconds (now -. d.d_since);
+        ps.mode <- Normal;
+        ps.below_since <- None;
+        let target = ref 0 in
+        for i = n - 1 downto 0 do
+          if usable i then target := i
+        done;
+        let split = Array.make n 0.0 in
+        split.(!target) <- 1.0;
+        ps.split <- split;
+        let wakes = sleeping_links g link_usable split ps.paths in
+        Obs.Metric.Counter.incr m_shifts;
+        Obs.Metric.Counter.add_int m_wake_requests (List.length wakes);
+        (if d.d_fallback then [ Cancel_fallback ] else [])
+        @ [ Wake wakes; Set_split (Array.copy split) ]
+      in
+      match (ps.mode, any_usable) with
+      | Normal, false -> enter_panic ()
+      | Degraded d, false -> panic_step d
+      | Degraded d, true -> recover d
+      | Normal, true ->
       let split = Array.copy ps.split in
       let changed = ref false in
       (* 1. Failures: traffic on an unusable path moves immediately to the

@@ -23,15 +23,26 @@ type config = {
       (** time below [low_threshold] before stepping down *)
   shift_fraction : Eutil.Units.ratio Eutil.Units.q;
       (** max fraction of a pair's traffic moved per decision *)
+  panic_retries : int;
+      (** wake rounds attempted from panic mode before escalating to the
+          dynamic fallback; 0 escalates on the first degraded probe *)
+  panic_backoff : Eutil.Units.seconds Eutil.Units.q;
+      (** base of the exponential backoff between panic wake rounds *)
 }
 
 val default_config : config
 (** threshold 0.9 / low 0.4 / hysteresis 2 probe periods / shift 0.5,
-    probe period 0.1 s. *)
+    probe period 0.1 s, 3 panic retries with 0.1 s base backoff. *)
 
 type action =
   | Wake of int list  (** links the agent asks the network to wake *)
   | Set_split of float array  (** new traffic split over the pair's paths *)
+  | Use_fallback
+      (** every installed path is unusable and panic retries are exhausted:
+          the caller should route this pair over the shortest currently
+          usable path (OSPF-style) until {!Cancel_fallback} *)
+  | Cancel_fallback
+      (** an installed path is usable again; drop the dynamic fallback *)
 
 type t
 
@@ -59,4 +70,14 @@ val on_probe :
 (** One probe round for a pair. [link_util] is the utilisation the probe
     reported for a link; [link_usable] is false for failed links (sleeping
     links are usable — they wake on demand). The returned actions are to be
-    applied by the caller in order. *)
+    applied by the caller in order.
+
+    When every installed path of the pair is unusable the agent escalates
+    instead of silently dropping the share: the split is zeroed (so the
+    caller measures the unserved demand as loss), up to [panic_retries]
+    {!Wake} rounds are issued for all installed links with exponentially
+    growing backoff, and then a single {!Use_fallback} asks the caller to
+    route dynamically. The first probe that sees a usable installed path
+    again restores traffic onto it, emits {!Cancel_fallback} if one was
+    requested, and records the outage duration in the
+    [te_recovery_seconds] histogram. *)

@@ -42,6 +42,11 @@ type result = {
   wake_count : int;
   sleep_count : int;
   energy_joules : float;
+  rejected_wake_count : int;
+  fallback_count : int;
+  offered_bits : float;
+  delivered_bits : float;
+  lost_bits : float;
 }
 
 type link_status = Active | Sleeping | Waking of float
@@ -83,6 +88,20 @@ let m_power_watts =
 let m_links_active =
   Obs.Metric.Gauge.create ~help:"Active links at the last sample" "netsim_links_active"
 
+let m_stale_detects =
+  Obs.Metric.Counter.create
+    ~help:"Detect events that fired after the link had already been repaired"
+    "netsim_stale_detects_total"
+
+let m_rejected_wakes =
+  Obs.Metric.Counter.create ~help:"Wake requests refused because the link is failed"
+    "netsim_rejected_wakes_total"
+
+let m_fallback_routes =
+  Obs.Metric.Counter.create
+    ~help:"Dynamic shortest-usable-path fallback routes computed for degraded pairs"
+    "netsim_fallback_routes_total"
+
 type sim = {
   g : Topo.Graph.t;
   tables : Response.Tables.t;
@@ -103,12 +122,26 @@ type sim = {
   mutable wakes_wanted : int list;  (* links data-plane traffic needs woken *)
   mutable wake_count : int;
   mutable sleep_count : int;
+  mutable rejected_wakes : int;
+  mutable fallback_count : int;
+  (* Pairs granted Use_fallback by TE; the path is (re)computed lazily in
+     [compute_rates] and None while the pair is partitioned. *)
+  fallbacks : (int * int, Topo.Path.t option) Hashtbl.t;
+  invcap : Topo.Graph.arc -> float;  (* OSPF weight, hoisted once per run *)
 }
 
 let link_fully_active s p =
   Array.for_all
     (fun l -> (not s.failed.(l)) && s.status.(l) = Active)
     (Topo.Path.links s.g p)
+
+(* Shortest path avoiding every link the control plane knows is failed —
+   the last rung of the degradation ladder (sleeping links are fine: they
+   wake on demand). *)
+let ospf_usable_path s o d =
+  Routing.Dijkstra.shortest_path s.g ~weight:s.invcap
+    ~active:(fun arc -> not s.known_failed.(arc.Topo.Graph.link))
+    ~src:o ~dst:d ()
 
 (* Offered loads, achieved rates and data-plane wake requests for the current
    demand, splits and link states. A share whose path is not fully active
@@ -152,7 +185,41 @@ let compute_rates s =
                       placements := ((o, d), volume, Some p) :: !placements
                   | None -> placements := ((o, d), volume, None) :: !placements
                 end)
-              split);
+              split;
+            (* A pair whose split is all-zero has lost every installed path
+               (the TE panic ladder zeroed it). If TE escalated to
+               Use_fallback, route over the dynamic shortest usable path;
+               either way the demand is recorded so unserved volume shows up
+               as measured loss, never silently vanishing. *)
+            if Array.for_all (fun share -> share <= 0.0) split then begin
+              let stale p =
+                Array.exists (fun l -> s.known_failed.(l)) (Topo.Path.links s.g p)
+              in
+              let fb =
+                match Hashtbl.find_opt s.fallbacks (o, d) with
+                | None -> None (* not granted: panic retries still running *)
+                | Some (Some p) when not (stale p) -> Some p
+                | Some _ ->
+                    let p = ospf_usable_path s o d in
+                    if p <> None then begin
+                      s.fallback_count <- s.fallback_count + 1;
+                      Obs.Metric.Counter.incr m_fallback_routes
+                    end;
+                    Hashtbl.replace s.fallbacks (o, d) p;
+                    p
+              in
+              match fb with
+              | Some p when link_fully_active s p ->
+                  Array.iter (fun a -> offered.(a) <- offered.(a) +. dem) p.Topo.Path.arcs;
+                  placements := ((o, d), dem, Some p) :: !placements
+              | Some p ->
+                  Array.iter
+                    (fun l ->
+                      if (not s.failed.(l)) && s.status.(l) = Sleeping then wakes := l :: !wakes)
+                    (Topo.Path.links s.g p);
+                  placements := ((o, d), dem, None) :: !placements
+              | None -> placements := ((o, d), dem, None) :: !placements
+            end);
     (* Achieved rate: demand scaled by the worst oversubscription en route. *)
     let factor a = offered.(a) /. (Topo.Graph.arc s.g a).Topo.Graph.capacity in
     let achieved = Array.make n_arcs 0.0 in
@@ -198,6 +265,39 @@ let wake_link s l =
     invalidate s
   end
 
+(* Pairs whose current split crosses the link: the agents that must react
+   promptly to news about it. *)
+let pairs_using_link s l =
+  List.filter
+    (fun (o, d) ->
+      match Response.Tables.find s.tables o d with
+      | None -> false
+      | Some e ->
+          let paths = Response.Tables.paths e in
+          let split = Response.Te.split s.te o d in
+          Array.exists
+            (fun i -> split.(i) > 0.0 && Topo.Path.uses_link s.g paths.(i) l)
+            (Array.init (Array.length paths) (fun i -> i)))
+    (Response.Tables.pairs s.tables)
+
+(* A control-plane wake request. The network refuses to wake a failed link;
+   the refusal is surfaced as a counter and doubles as an immediate failure
+   signal — the affected agents re-evaluate now rather than waiting out the
+   detection delay or a full probe period. *)
+let request_wake s l =
+  if s.failed.(l) then begin
+    s.rejected_wakes <- s.rejected_wakes + 1;
+    Obs.Metric.Counter.incr m_rejected_wakes;
+    if not s.known_failed.(l) then begin
+      s.known_failed.(l) <- true;
+      List.iter
+        (fun (o, d) -> Eutil.Heap.push s.queue s.now (Probe (o, d)))
+        (pairs_using_link s l);
+      invalidate s
+    end
+  end
+  else wake_link s l
+
 let power_state s =
   let st = Topo.State.all_off s.g in
   Array.iteri
@@ -241,8 +341,14 @@ let handle_probe s o d =
     List.iter
       (fun action ->
         match action with
-        | Response.Te.Wake links -> List.iter (fun l -> wake_link s l) links
-        | Response.Te.Set_split _ -> invalidate s)
+        | Response.Te.Wake links -> List.iter (fun l -> request_wake s l) links
+        | Response.Te.Set_split _ -> invalidate s
+        | Response.Te.Use_fallback ->
+            Hashtbl.replace s.fallbacks (o, d) None;
+            invalidate s
+        | Response.Te.Cancel_fallback ->
+            Hashtbl.remove s.fallbacks (o, d);
+            invalidate s)
       actions
   end
 
@@ -289,6 +395,10 @@ let run ?(config = default_config) ?initial_splits ~tables ~power ~events ~durat
       wakes_wanted = [];
       wake_count = 0;
       sleep_count = 0;
+      rejected_wakes = 0;
+      fallback_count = 0;
+      fallbacks = Hashtbl.create 16;
+      invcap = Routing.Spf.invcap g;
     }
   in
   (* Initially the links used by current splits are active. *)
@@ -360,23 +470,18 @@ let run ?(config = default_config) ?initial_splits ~tables ~power ~events ~durat
             invalidate s
         | Detect l ->
             Obs.Metric.Counter.incr ev_detect;
-            s.known_failed.(l) <- true;
-            (* Affected agents react promptly: immediate probe for pairs whose
-               current split crosses the failed link. *)
-            List.iter
-              (fun (o, d) ->
-                match Response.Tables.find tables o d with
-                | None -> ()
-                | Some e ->
-                    let paths = Response.Tables.paths e in
-                    let split = Response.Te.split te o d in
-                    let uses =
-                      Array.exists
-                        (fun i -> split.(i) > 0.0 && Topo.Path.uses_link g paths.(i) l)
-                        (Array.init (Array.length paths) (fun i -> i))
-                    in
-                    if uses then Eutil.Heap.push s.queue s.now (Probe (o, d)))
-              pairs
+            (* Guard against the stale-detection race: a Detect scheduled by
+               a failure that was repaired inside the detection window must
+               not mark the healthy link failed. *)
+            if not s.failed.(l) then Obs.Metric.Counter.incr m_stale_detects
+            else begin
+              s.known_failed.(l) <- true;
+              (* Affected agents react promptly: immediate probe for pairs
+                 whose current split crosses the failed link. *)
+              List.iter
+                (fun (o, d) -> Eutil.Heap.push s.queue s.now (Probe (o, d)))
+                (pairs_using_link s l)
+            end
         | Repair l ->
             Obs.Metric.Counter.incr ev_repair;
             s.failed.(l) <- false;
@@ -416,6 +521,12 @@ let run ?(config = default_config) ?initial_splits ~tables ~power ~events ~durat
       (float_of_int s.wake_count *. config.transition_energy)
       samples
   in
+  (* Explicit traffic-conservation accounting: the achieved rate never
+     exceeds demand (worst oversubscription factor >= 1), so lost is
+     non-negative and delivered + lost = offered holds exactly. *)
+  let offered_bits = demanded *. config.sample_interval in
+  let delivered_bits = delivered *. config.sample_interval in
+  let lost_bits = offered_bits -. delivered_bits in
   {
     samples;
     mean_power_percent;
@@ -423,4 +534,9 @@ let run ?(config = default_config) ?initial_splits ~tables ~power ~events ~durat
     wake_count = s.wake_count;
     sleep_count = s.sleep_count;
     energy_joules;
+    rejected_wake_count = s.rejected_wakes;
+    fallback_count = s.fallback_count;
+    offered_bits;
+    delivered_bits;
+    lost_bits;
   }

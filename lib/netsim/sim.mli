@@ -8,6 +8,10 @@
       Click experiments, 5 s for the ns-2 ones);
     - idle links falling asleep after carrying no traffic for a while;
     - link failures with a detection delay before agents react;
+    - graceful degradation: a pair with no usable installed path escalates
+      through bounded panic wake retries to a dynamic shortest-usable-path
+      fallback ({!Response.Te.Use_fallback}); wake requests on failed links
+      are rejected and counted, and unserved demand is accounted as loss;
     - fluid rate allocation: a flow's achieved rate is its demand scaled
       down by the worst oversubscription along its path, and traffic whose
       path is waking up falls back temporarily to the lowest active path
@@ -59,6 +63,17 @@ type result = {
   energy_joules : float;
       (** integrated element power plus transition energy — the quantity an
           aggressive idle timeout trades against (many transitions) *)
+  rejected_wake_count : int;
+      (** wake requests the network refused because the link was failed;
+          each refusal immediately re-probes the affected agents *)
+  fallback_count : int;
+      (** dynamic shortest-usable-path fallback routes computed for pairs
+          whose installed paths were all unusable *)
+  offered_bits : float;  (** integrated demand over the run *)
+  delivered_bits : float;  (** integrated achieved rate *)
+  lost_bits : float;
+      (** [offered_bits - delivered_bits], exactly — disconnection and
+          congestion show up here as measured loss, never silently *)
 }
 
 val run :

@@ -9,7 +9,8 @@ let fig7_config =
     Sim.te =
       (let module U = Eutil.Units in
        {
-         Response.Te.probe_period = U.seconds 0.1;
+         Response.Te.default_config with
+           Response.Te.probe_period = U.seconds 0.1;
          util_threshold = U.ratio 0.9;
          low_threshold = U.ratio 0.55;
          hysteresis = U.seconds 0.05;
@@ -131,6 +132,70 @@ let test_wake_delay_gates_recovery () =
   Alcotest.(check bool) "still down" true (mid.Sim.rate_total < 1e6);
   let after = sample_near r 4.5 in
   Alcotest.(check bool) "recovered after wake" true (after.Sim.rate_total > 4.9e6)
+
+let test_repair_beats_detection () =
+  (* Regression: the link fails at 1.5 and is repaired at 1.55, before the
+     0.1 s detection delay elapses. The Detect event at 1.6 is stale — it
+     must not mark the (healthy, repaired) link as failed, so traffic stays
+     on the middle path for the rest of the run. *)
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_enabled false)
+    (fun () ->
+      let read () =
+        Option.value
+          (Obs.Registry.value Obs.Registry.default "netsim_stale_detects_total")
+          ~default:0.0
+      in
+      let stale0 = read () in
+      let ex, tables = Fixtures.fig3_tables () in
+      let g = ex.Topo.Example.graph in
+      let eh = Fixtures.link_between g ex.Topo.Example.e ex.Topo.Example.h in
+      let demand = Fixtures.fig7_demand ex in
+      let r =
+        Sim.run ~config:fig7_config ~tables ~power:(power_of ex)
+          ~events:
+            [ Sim.Set_demand (0.0, demand); Sim.Fail_link (1.5, eh); Sim.Repair_link (1.55, eh) ]
+          ~duration:4.0 ()
+      in
+      let after = sample_near r 3.5 in
+      Alcotest.(check bool)
+        (Printf.sprintf "middle still carries traffic (%.1f Mbit/s)"
+           (after.Sim.link_rates.(eh) /. 1e6))
+        true
+        (after.Sim.link_rates.(eh) > 4.9e6);
+      Alcotest.(check (float 1.0)) "no spurious failover to upper" 0.0
+        after.Sim.link_rates.(upper_link ex);
+      Alcotest.(check bool) "stale detect counted" true (read () -. stale0 >= 1.0))
+
+let test_rejected_wake_feeds_back () =
+  (* The upper on-demand link fails silently while asleep, then an overload
+     makes A's agent shift towards it and ask for a wake. The request must
+     be rejected, counted, and turned into control-plane knowledge on the
+     spot — the agent re-plans immediately instead of blackholing traffic on
+     the dead path until the (slow, 1 s here) detection delay elapses. *)
+  let ex, tables = Fixtures.fig3_tables () in
+  let g = ex.Topo.Example.graph in
+  let m = Traffic.Matrix.create (G.node_count g) in
+  Traffic.Matrix.set m ex.Topo.Example.a ex.Topo.Example.k 16e6;
+  let config = { fig7_config with Sim.failure_detection = 1.0 } in
+  let r =
+    Sim.run ~config ~tables ~power:(power_of ex)
+      ~events:[ Sim.Fail_link (0.05, upper_link ex); Sim.Set_demand (0.3, m) ]
+      ~duration:3.0 ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "wake rejected (%d)" r.Sim.rejected_wake_count)
+    true (r.Sim.rejected_wake_count >= 1);
+  (* Well before the detection delay would have fired, traffic is back on
+     the (bottlenecked but alive) middle path rather than on the dead one. *)
+  let before_detect = sample_near r 0.9 in
+  Alcotest.(check bool)
+    (Printf.sprintf "middle keeps carrying (%.1f Mbit/s)" (before_detect.Sim.rate_total /. 1e6))
+    true
+    (before_detect.Sim.rate_total > 9.5e6);
+  Alcotest.(check (float 1.0)) "dead upper path stays empty" 0.0
+    before_detect.Sim.link_rates.(upper_link ex)
 
 let test_idle_links_sleep_and_power_follows () =
   let _, _, r = run_fig7 ~duration:3.0 () in
@@ -289,6 +354,8 @@ let () =
         [
           Alcotest.test_case "failover restores traffic" `Quick test_failure_restores_traffic;
           Alcotest.test_case "wake delay gates recovery" `Quick test_wake_delay_gates_recovery;
+          Alcotest.test_case "repair beats detection" `Quick test_repair_beats_detection;
+          Alcotest.test_case "rejected wake feeds back" `Quick test_rejected_wake_feeds_back;
         ] );
       ( "dynamics",
         [

@@ -208,6 +208,55 @@ let test_vulnerable_pairs () =
   in
   Alcotest.(check (list (pair int int))) "protected" [] (Response.Failover.vulnerable_pairs g2 t2)
 
+let test_node_vulnerable_pairs () =
+  (* Theta graph: o-a-m-c-k and o-b-m-d-k are link-disjoint but both cross
+     the transit node m — invisible to the link analysis, a node failure
+     kills both. *)
+  let b = G.Builder.create () in
+  let n name = G.Builder.add_node b name in
+  let o = n "o" and a = n "a" and bb = n "b" and m = n "m" and c = n "c" and d = n "d" and k = n "k" in
+  let gig = Eutil.Units.to_float (Eutil.Units.gbps 1.0) in
+  let link x y = ignore (G.Builder.add_link b ~capacity:gig ~latency:1e-3 x y) in
+  link o a; link a m; link m c; link c k;
+  link o bb; link bb m; link m d; link d k;
+  let g = G.Builder.build b in
+  let arc i j = Option.get (G.find_arc g i j) in
+  let upper = Path.of_arcs g [ arc o a; arc a m; arc m c; arc c k ] in
+  let lower = Path.of_arcs g [ arc o bb; arc bb m; arc m d; arc d k ] in
+  let t =
+    Response.Tables.make g
+      [ { Response.Tables.origin = o; dest = k; always_on = upper; on_demand = []; failover = Some lower } ]
+  in
+  Alcotest.(check (list (pair int int))) "link-disjoint, so not link-vulnerable" []
+    (Response.Failover.vulnerable_pairs g t);
+  Alcotest.(check (list (pair int int))) "but the shared transit node is fatal" [ (o, k) ]
+    (Response.Failover.node_vulnerable_pairs g t);
+  (* The Fig. 3 set-up has node-disjoint interiors: no pair is exposed. *)
+  let ex = Topo.Example.make ~include_b:false () in
+  let g3 = ex.Topo.Example.graph in
+  let arc3 i j = Option.get (G.find_arc g3 i j) in
+  let mid o' =
+    Path.of_arcs g3 [ arc3 o' ex.Topo.Example.e; arc3 ex.Topo.Example.e ex.Topo.Example.h; arc3 ex.Topo.Example.h ex.Topo.Example.k ]
+  in
+  let up =
+    Path.of_arcs g3
+      [ arc3 ex.Topo.Example.a ex.Topo.Example.d; arc3 ex.Topo.Example.d ex.Topo.Example.g; arc3 ex.Topo.Example.g ex.Topo.Example.k ]
+  in
+  let t3 =
+    Response.Tables.make g3
+      [
+        {
+          Response.Tables.origin = ex.Topo.Example.a;
+          dest = ex.Topo.Example.k;
+          always_on = mid ex.Topo.Example.a;
+          on_demand = [ up ];
+          failover = None;
+        };
+      ]
+  in
+  Alcotest.(check (list (pair int int))) "disjoint interiors survive a chassis loss" []
+    (Response.Failover.node_vulnerable_pairs g3 t3)
+
 (* -------------------- Framework -------------------- *)
 
 let geant_tables =
@@ -562,6 +611,7 @@ let () =
         [
           Alcotest.test_case "disjoint" `Quick test_failover_disjoint_when_possible;
           Alcotest.test_case "vulnerable pairs" `Quick test_vulnerable_pairs;
+          Alcotest.test_case "node-vulnerable pairs" `Quick test_node_vulnerable_pairs;
         ] );
       ( "framework",
         [
