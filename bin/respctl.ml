@@ -117,7 +117,9 @@ let topo_cmd =
         Topo.Graph.fold_nodes g ~init:() ~f:(fun () n ->
             let r = Topo.Graph.role_to_string (Topo.Graph.role g n) in
             Hashtbl.replace by_role r (1 + Option.value (Hashtbl.find_opt by_role r) ~default:0));
-        Hashtbl.iter (fun r c -> Format.printf "  %-14s %d@." r c) by_role;
+        Hashtbl.fold (fun r c acc -> (r, c) :: acc) by_role []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        |> List.iter (fun (r, c) -> Format.printf "  %-14s %d@." r c);
         0)
   in
   let doc = "Describe a topology and its power envelope." in
@@ -271,31 +273,75 @@ let analyze_cmd =
     in
     Arg.(value & pos_all string [ "lib"; "bin" ] & info [] ~docv:"PATH" ~doc)
   in
+  let entries_arg =
+    let doc =
+      "Additional entry-point trees (executables/tests): their definitions seed reachability for \
+       dead-function but are not themselves analyzed. Repeatable."
+    in
+    Arg.(value & opt_all string [] & info [ "entries" ] ~docv:"PATH" ~doc)
+  in
+  let budget_arg =
+    let doc =
+      "Warn-finding budget file (JSON object mapping rule id to allowed count); exceeding a \
+       budget is an error. Rules absent from the file allow zero findings."
+    in
+    Arg.(value & opt (some string) None & info [ "budget" ] ~docv:"FILE" ~doc)
+  in
   let rules_arg = Arg.(value & flag & info [ "rules" ] ~doc:"List the analysis rules and exit.") in
-  let run dirs json list_rules =
+  let run dirs entries budget json list_rules =
     if list_rules then begin
-      List.iter (fun (id, doc) -> Format.printf "%-14s %s@." id doc) Check.Flow.rules;
+      List.iter
+        (fun (id, doc) -> Format.printf "%-18s %s@." id doc)
+        (Check.Flow.rules @ Check.Effect.rules);
       0
     end
     else begin
-      match List.filter (fun p -> not (Sys.file_exists p)) dirs with
+      let budget_paths = match budget with Some b -> [ b ] | None -> [] in
+      match List.filter (fun p -> not (Sys.file_exists p)) (dirs @ entries @ budget_paths) with
       | p :: _ ->
           Format.eprintf "analyze: no such path %s@." p;
           2
       | [] -> (
-          let findings = Check.Flow.analyze_paths dirs in
-          report_findings ~json findings;
-          match findings with
-          | [] ->
-              if not json then Format.printf "analyze: clean@.";
-              0
-          | fs ->
-              if not json then Format.printf "analyze: %d finding(s)@." (List.length fs);
-              1)
+          let allowed =
+            match budget with
+            | None -> Ok None
+            | Some file -> (
+                try Ok (Some (Check.Effect.parse_budget (Check.Srclint.read_file file)))
+                with Invalid_argument msg -> Error msg)
+          in
+          match allowed with
+          | Error msg ->
+              Format.eprintf "analyze: %s@." msg;
+              2
+          | Ok allowed -> (
+              let flow = Check.Flow.analyze_paths dirs in
+              let graph = Check.Callgraph.build ~entries dirs in
+              let effect = Check.Effect.analyze graph in
+              let ratchet =
+                match allowed with
+                | None -> []
+                | Some budget -> Check.Effect.over_budget ~budget effect
+              in
+              let findings = flow @ effect @ ratchet in
+              report_findings ~json findings;
+              match findings with
+              | [] ->
+                  if not json then Format.printf "analyze: clean@.";
+                  0
+              | fs ->
+                  if not json then
+                    Format.printf "analyze: %d finding(s), %d error(s)@." (List.length fs)
+                      (List.length (Check.Finding.errors fs));
+                  if Check.Finding.errors fs = [] then 0 else 1))
     end
   in
-  let doc = "Numeric-safety dataflow analysis of the OCaml sources (Check.Flow)." in
-  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ dirs_arg $ json_arg $ rules_arg)
+  let doc =
+    "Static analysis of the OCaml sources: numeric-safety dataflow (Check.Flow) plus \
+     interprocedural effect inference over the call graph (Check.Callgraph, Check.Effect)."
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(const run $ dirs_arg $ entries_arg $ budget_arg $ json_arg $ rules_arg)
 
 (* ------------------------------- check ------------------------------ *)
 

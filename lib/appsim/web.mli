@@ -34,7 +34,8 @@ val run :
 (** [path_of client] is the routing in force (e.g. the always-on table or the
     InvCap path); [background_util arc] the utilisation other traffic imposes.
     Retrieval latency = 2 RTTs (TCP handshake + request) + server time +
-    transfer at the path's residual bottleneck bandwidth. *)
+    transfer at the path's residual bottleneck bandwidth.
+    @raise Invalid_argument if [clients] is empty. *)
 
 val compare_latency : baseline:result -> treatment:result -> float
 (** Relative mean-latency increase of [treatment] over [baseline], in

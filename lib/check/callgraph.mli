@@ -1,0 +1,84 @@
+(** Project-wide call graph over toplevel definitions, extracted from the
+    {!Srclint} token streams. No ppx, no compiler front end: like the rest
+    of the [check] layer this is a deliberately heuristic, zero-dependency
+    analysis tuned to this repository's ocamlformat style (toplevel
+    definitions at column 1; definitions inside a column-1
+    [module X = struct] block at column 3).
+
+    The graph is the substrate for {!Effect}: each node is one toplevel
+    [let]/[and] definition carrying its body tokens; edges link a
+    definition to every definition it may call, resolved from dotted
+    [Module.ident] references (with per-file [module A = B] aliases
+    expanded and a library hint taken from the path's leading components)
+    and from undotted identifiers matched against same-file definitions.
+
+    Known false negatives, by design: calls through functors, first-class
+    modules, higher-order escapes ([List.map f] records an edge to [f]'s
+    definition only when [f] resolves syntactically), method calls, and
+    [include]-re-exported definitions. See DESIGN.md §10. *)
+
+type source = {
+  sc_file : string;  (** path used in findings *)
+  sc_library : string;  (** dune library (or executable) name *)
+  sc_entry : bool;  (** under an [executable]/[tests] dune stanza *)
+  sc_text : string;  (** raw file contents *)
+}
+(** One source file plus its dune context; {!build_sources} lets tests
+    construct graphs from in-memory fixtures. *)
+
+type def = {
+  d_id : int;  (** index into {!t.defs} *)
+  d_library : string;
+  d_module : string;
+      (** dotted module path within the library, e.g. ["Graph"] or
+          ["Graph.Builder"] for a definition inside a submodule *)
+  d_name : string;  (** ["()"] for [let () = ...] initializer blocks *)
+  d_file : string;
+  d_line : int;
+  d_entry : bool;  (** defined in an executable/test/bench/example *)
+  d_public : bool;
+      (** part of the library's surface: the module either has no [.mli]
+          or the [.mli] declares a [val] with this name (submodule
+          definitions under an [.mli] are never public) *)
+  d_body : Srclint.tok array;  (** body tokens, for effect inference *)
+}
+
+type vdecl = {
+  v_file : string;
+  v_library : string;
+  v_module : string;
+  v_name : string;
+  v_line : int;
+  v_raise_doc : bool;
+      (** the val's doc comment (after-style, between this [val] and the
+          next) mentions [@raise] *)
+}
+(** One [val] declaration from an [.mli]. *)
+
+type t = {
+  defs : def array;
+  callees : int list array;  (** [callees.(i)] = defs that [defs.(i)] may call *)
+  vals : vdecl list;
+}
+
+val build_sources : source list -> t
+(** Builds the graph from in-memory sources (fixture-friendly). *)
+
+val build : ?entries:string list -> string list -> t
+(** [build ~entries dirs] scans every [.ml]/[.mli] under [dirs] (library
+    code) and [entries] (executables/tests: their definitions become
+    reachability roots), reading each directory's [dune] file for the
+    library name ([(name ...)], defaulting to the directory basename) and
+    the entry flag ([(executable], [(executables], [(test] or [(tests]
+    stanzas). Files skipped by {!Srclint.source_files} (leading ['.'] or
+    ['_']) are skipped here too. *)
+
+val find_def : t -> module_:string -> name:string -> def option
+(** Lookup by module path and definition name, for tests. *)
+
+val reachable : t -> roots:int list -> bool array
+(** Forward BFS over [callees]. *)
+
+val witness : t -> from:int -> target:(int -> bool) -> int list option
+(** Shortest call chain (as def ids, [from] first) from [from] to any
+    definition satisfying [target]; [None] if unreachable. *)

@@ -36,4 +36,6 @@ val compute :
 (** [latency_beta] enables the REsPoNse-lat delay bound; pairs whose
     minimal-power path violates the bound are repaired with the cheapest
     (fewest newly activated elements) among their k shortest paths that
-    satisfies it. *)
+    satisfies it.
+    @raise Invalid_argument when the demands are infeasible even on the
+    full network. *)

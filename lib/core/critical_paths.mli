@@ -15,7 +15,8 @@ val observe : t -> (int * int, Topo.Path.t) Hashtbl.t -> Traffic.Matrix.t -> uni
 
 val coverage : t -> top:int -> float
 (** Percentage (0..100) of all observed traffic that falls on each pair's
-    [top] heaviest paths — the y-axis of Figure 2b. *)
+    [top] heaviest paths — the y-axis of Figure 2b.
+    @raise Invalid_argument if [top] is negative. *)
 
 val coverage_curve : t -> max:int -> (int * float) list
 (** [(x, coverage ~top:x)] for x = 1..max. *)

@@ -24,7 +24,8 @@ val restrict : Tables.t -> max_tables:int -> Tables.t
 (** Keeps only the [max_tables] most important paths per pair (always-on
     first, then on-demand in activation order, failover last) — the paper's
     answer to memory-limited routing: "deploy only the most important routing
-    tables, while keeping the remaining ones ready for later use". *)
+    tables, while keeping the remaining ones ready for later use".
+    @raise Invalid_argument if [max_tables < 1]. *)
 
 val single_failure_coverage : Tables.t -> float
 (** Fraction (0..1) of pairs that keep at least one usable installed path

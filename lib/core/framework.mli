@@ -35,6 +35,10 @@ val install_checks : bool ref
     a maximally- but not fully-disjoint failover, are not fatal. *)
 
 val precompute : ?config:config -> Topo.Graph.t -> Power.Model.t -> pairs:(int * int) list -> Tables.t
+(** Builds the full table set for the given pairs.
+    @raise Invalid_argument if [n_paths < 2], if the always-on demands are
+    infeasible on the full network, or (with {!install_checks} on) on any
+    error-severity invariant finding. *)
 
 type evaluation = {
   state : Topo.State.t;  (** elements carrying traffic (the rest sleep) *)

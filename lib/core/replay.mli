@@ -33,7 +33,8 @@ val run :
 
 val recomputation_rate : t -> bucket:float -> (float * float) list
 (** Recomputations per hour over buckets of [bucket] seconds:
-    [(bucket start time, rate per hour)] — Figure 1b. *)
+    [(bucket start time, rate per hour)] — Figure 1b.
+    @raise Invalid_argument if [bucket] is not positive. *)
 
 val config_dominance : t -> (string * float) list
 (** Fraction of intervals spent in each distinct routing configuration,

@@ -15,7 +15,9 @@ type t
 
 val make : Topo.Graph.t -> entry list -> t
 (** Builds the table set; entries must be unique per pair, and every path must
-    connect its pair. *)
+    connect its pair.
+    @raise Invalid_argument on a duplicate pair or a path that does not
+    connect its endpoints. *)
 
 val graph : t -> Topo.Graph.t
 val find : t -> int -> int -> entry option

@@ -52,12 +52,15 @@ val create : Tables.t -> config -> t
 val config : t -> config
 
 val split : t -> int -> int -> float array
-(** Current traffic split of a pair over its paths (activation order). *)
+(** Current traffic split of a pair over its paths (activation order).
+    @raise Invalid_argument on an unknown pair. *)
 
 val force_split : t -> int -> int -> float array -> unit
 (** Overrides a pair's split (normalised), e.g. to start an experiment from a
     non-default state as in Figure 7, where traffic initially uses all paths
-    and REsPoNseTE consolidates it once started. *)
+    and REsPoNseTE consolidates it once started.
+    @raise Invalid_argument on an unknown pair or a split whose arity does
+    not match the pair's path count. *)
 
 val on_probe :
   t ->

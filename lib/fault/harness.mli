@@ -59,8 +59,8 @@ val run :
 (** Runs [trials] seeded scenarios ([spec.seed], [spec.seed + 1], ...) and
     aggregates. [threshold] (default 0.999) is the served fraction of a
     pair's demand below which a pair-sample counts as an outage sample.
-    Raises [Invalid_argument] on a traffic-conservation violation or
-    [trials <= 0]. *)
+    @raise Invalid_argument on a traffic-conservation violation,
+    [trials <= 0], or a threshold outside (0, 1]. *)
 
 type sweep_entry = {
   sw_link : int;
@@ -87,9 +87,13 @@ val single_link_sweep :
     post-reconvergence outcome — the empirical check of the paper's §4.3
     claim that one failover path absorbs every non-partitioning single-link
     failure with no steady-state loss. [grace] is the allowed
-    reconvergence window after the failure. *)
+    reconvergence window after the failure.
+    @raise Invalid_argument unless [0 <= fail_at] and
+    [fail_at + grace < duration]. *)
 
 val to_json : report -> string
 (** Canonical JSON summary (fixed key order, fixed float formatting) —
     byte-identical for equal inputs, self-validated against
-    {!Obs.Export.validate_json}. *)
+    {!Obs.Export.validate_json}.
+    @raise Invalid_argument if self-validation rejects the generated
+    document (a bug guard, not an input error). *)

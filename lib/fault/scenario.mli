@@ -57,7 +57,8 @@ val events : spec -> Topo.Graph.t -> base:Traffic.Matrix.t -> Netsim.Sim.event l
 val random_srlgs :
   Topo.Graph.t -> Eutil.Prng.t -> groups:int -> size:int -> int list list
 (** [groups] disjoint link groups of (up to) [size] links drawn without
-    replacement — a stand-in for real shared-conduit data. *)
+    replacement — a stand-in for real shared-conduit data.
+    @raise Invalid_argument unless [groups] and [size] are positive. *)
 
 val describe : Topo.Graph.t -> Netsim.Sim.event list -> string
 (** One line per event, for goldens and debugging. *)

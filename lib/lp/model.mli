@@ -17,12 +17,15 @@ val binary : t -> string -> var
 (** Integer variable in [0, 1] — the X_i and Y_{i->j} of the paper's model. *)
 
 val var_name : t -> var -> string
+(** The name a variable was declared with.
+    @raise Invalid_argument on a variable of another model. *)
 
 val constr : t -> term list -> Simplex.relation -> float -> unit
 (** Adds a constraint; terms on the same variable are summed. *)
 
 val minimize : t -> term list -> unit
-(** Sets the objective (call once). *)
+(** Sets the objective (call once).
+    @raise Invalid_argument if the objective is already set. *)
 
 type solution
 

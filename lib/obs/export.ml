@@ -1,5 +1,33 @@
 module R = Registry
 
+(* --------------------------- canonical order -------------------------- *)
+
+(* Every exporter sorts its samples by (name, labels) first, so the output
+   bytes depend only on the sample set — never on registration or hash
+   insertion order. Sorting also groups a family's label children under one
+   HELP/TYPE header in the Prometheus rendering. *)
+
+let compare_labels a b =
+  let rec go a b =
+    match (a, b) with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | (k1, v1) :: t1, (k2, v2) :: t2 ->
+        let c = String.compare k1 k2 in
+        if c <> 0 then c
+        else
+          let c = String.compare v1 v2 in
+          if c <> 0 then c else go t1 t2
+  in
+  go a b
+
+let by_series a b =
+  let c = String.compare a.R.name b.R.name in
+  if c <> 0 then c else compare_labels a.R.labels b.R.labels
+
+let sort_samples samples = List.stable_sort by_series samples
+
 (* ------------------------------ escaping ------------------------------ *)
 
 let json_escape s =
@@ -77,6 +105,7 @@ let text_value = function
         @ [ Printf.sprintf "max=%s" (render_float h.R.max) ])
 
 let to_text samples =
+  let samples = sort_samples samples in
   let buf = Buffer.create 1024 in
   List.iter
     (fun s ->
@@ -111,6 +140,7 @@ let json_value = function
       ^ "}"
 
 let to_json samples =
+  let samples = sort_samples samples in
   let metric s =
     let labels =
       String.concat ","
@@ -128,6 +158,7 @@ let to_json samples =
 (* ---------------------------- Prometheus ------------------------------ *)
 
 let to_prometheus samples =
+  let samples = sort_samples samples in
   let buf = Buffer.create 1024 in
   let seen = Hashtbl.create 16 in
   List.iter

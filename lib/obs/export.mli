@@ -1,7 +1,12 @@
 (** Exporters: render a registry snapshot for humans (text), machines
     (JSON), or a Prometheus scrape endpoint (text exposition format). All
     three take the same [Registry.sample list] from {!Registry.snapshot},
-    so they can be applied to any registry at any time. *)
+    so they can be applied to any registry at any time.
+
+    Output is canonical: every exporter first sorts the samples by
+    (name, labels), so the bytes depend only on the sample set, never on
+    registration or hash-table insertion order — the property the golden
+    diffs and the [nondet-export] analysis rule (DESIGN.md §10) lean on. *)
 
 val to_text : Registry.sample list -> string
 (** Human-oriented table: one line per metric, histograms summarised as

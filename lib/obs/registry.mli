@@ -55,10 +55,10 @@ val default : t
     otherwise. *)
 
 val register : t -> collector -> unit
-(** Adds a collector. Raises [Invalid_argument] on an invalid metric or
-    label name (names must match [[a-zA-Z_][a-zA-Z0-9_]*]), on a duplicate
-    (name, labels) pair, or when the name is already registered with a
-    different kind. *)
+(** Adds a collector.
+    @raise Invalid_argument on an invalid metric or label name (names must
+    match [[a-zA-Z_][a-zA-Z0-9_]*]), on a duplicate (name, labels) pair, or
+    when the name is already registered with a different kind. *)
 
 val snapshot : t -> sample list
 (** Current values of every collector, in creation order. *)

@@ -38,4 +38,6 @@ val run :
 (** Injects constant-bit-rate packet streams (one per (origin, dest, bit/s)
     triple; each stream uses its index as select key) and forwards them
     through the programmed tables. The controller must have been
-    {!Controller.program}med. *)
+    {!Controller.program}med.
+    @raise Invalid_argument if [flows] is empty or the configured packet
+    size is not positive. *)

@@ -13,4 +13,6 @@ val minimal_subset :
 (** Computes the needed aggregation-switch count per pod and core-switch
     count from pod-level traffic totals, activates the leftmost such subset,
     and verifies by routing; capacity is escalated until the placement
-    succeeds. [None] if even the full fat-tree cannot carry the matrix. *)
+    succeeds. [None] if even the full fat-tree cannot carry the matrix.
+    @raise Invalid_argument if the fat-tree's link capacity (scaled by
+    [margin]) is not positive. *)

@@ -15,7 +15,8 @@ type t
 val create : ?margin:float -> ?state:Topo.State.t -> Topo.Graph.t -> t
 (** Fresh placement over the given activity state (all-on by default).
     [margin] is the paper's safety margin [sm] (Section 4.5): flows may use at
-    most [margin * capacity] of every arc (default 1.0). *)
+    most [margin * capacity] of every arc (default 1.0).
+    @raise Invalid_argument if [margin] is not positive. *)
 
 val graph : t -> Topo.Graph.t
 val state : t -> Topo.State.t
@@ -43,11 +44,14 @@ val congestion_weight : t -> Topo.Graph.arc -> float
 val place : t -> int -> int -> float -> Topo.Path.t option
 (** [place t o d demand] routes the flow on the best feasible path and commits
     it. [None] when no active path has enough residual capacity. A flow for
-    the pair must not already be placed. *)
+    the pair must not already be placed.
+    @raise Invalid_argument if the pair is already placed or [demand] is
+    not positive. *)
 
 val place_on : t -> Topo.Path.t -> float -> bool
 (** Commits a flow on an explicit path if the path is active and has residual
-    capacity everywhere; returns false (and commits nothing) otherwise. *)
+    capacity everywhere; returns false (and commits nothing) otherwise.
+    @raise Invalid_argument if the path's pair is already placed. *)
 
 val remove : t -> int -> int -> (Topo.Path.t * float) option
 (** Withdraws the committed flow of a pair, restoring residual capacity. *)

@@ -24,4 +24,7 @@ val solve :
   [ `Optimal of exact | `Infeasible | `Limit ]
 (** [pin_link] forces Y = 1 (elements already deployed as always-on);
     [delay_bound] adds the REsPoNse-lat constraint (4): the propagation delay
-    of a pair's path must not exceed the bound. *)
+    of a pair's path must not exceed the bound.
+    @raise Invalid_argument if the generated LP model fails its own
+    invariant check, and [Failure] if a solved model yields no extractable
+    flow — both are bug guards, not input errors. *)

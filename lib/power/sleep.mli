@@ -38,7 +38,8 @@ val breakeven_gap : state -> Eutil.Units.seconds Eutil.Units.q
 
 val gaps_of_busy : busy:(float * float) list -> horizon:float -> (float * float) list
 (** Complement of a sorted disjoint list of busy periods within
-    [0, horizon]. *)
+    [0, horizon].
+    @raise Invalid_argument if the busy periods are unsorted or overlap. *)
 
 val energy :
   active_power:Eutil.Units.watts Eutil.Units.q ->
@@ -67,4 +68,6 @@ val periodic_busy :
 (** Busy pattern of a link at the given utilisation whose traffic is shaped
     into bursts of the given period — the buffer-and-burst idea of
     [Nedevschi et al., NSDI 2008]: upstream queueing coalesces packets so
-    downstream gaps are [(1 - u) * period] long instead of inter-packet. *)
+    downstream gaps are [(1 - u) * period] long instead of inter-packet.
+    @raise Invalid_argument if [utilisation] is outside [0, 1] or [period]
+    is not positive. *)

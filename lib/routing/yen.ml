@@ -29,7 +29,8 @@ let k_shortest g ?weight ?(active = fun _ -> true) ~src ~dst ~k () =
         in
         (try
            while List.length !accepted < k do
-             let prev = List.hd !accepted in
+             (* [accepted] starts as [first] and only grows. *)
+             let prev = match !accepted with p :: _ -> p | [] -> first in
              let prev_arcs = prev.Topo.Path.arcs in
              (* Spur from every node of the previously accepted path. *)
              for i = 0 to Array.length prev_arcs - 1 do

@@ -160,7 +160,13 @@ module Builder = struct
         arcs.(bwd) <-
           Some { id = bwd; src = bb; dst = a; capacity = cap_ba; latency = lat; rev = fwd; link = l })
       links;
-    let arcs = Array.map Option.get arcs in
+    let arcs =
+      Array.map
+        (function
+          | Some a -> a
+          | None -> invalid_arg "Graph.Builder.build: arc slot left unfilled")
+        arcs
+    in
     let out_deg = Array.make n 0 and in_deg = Array.make n 0 in
     Array.iter
       (fun a ->

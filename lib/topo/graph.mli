@@ -59,7 +59,8 @@ val link_endpoints : t -> int -> int * int
 (** Endpoints of an undirected link, in arc order. *)
 
 val arcs_of_link : t -> int -> int * int
-(** The two opposite arcs of a link. *)
+(** The two opposite arcs of a link.
+    @raise Invalid_argument on an out-of-range link id. *)
 
 val link_capacity : t -> int -> float
 (** Capacity of the forward arc of the link. *)

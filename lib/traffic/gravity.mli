@@ -15,7 +15,9 @@ val make :
     of {!Topo.Graph.traffic_nodes} by default), normalised so demands sum to
     [total] (bit/s). Raises [Invalid_argument] when a positive total is
     requested but every selected pair has zero gravity mass (zero-capacity
-    endpoints) — the configuration that would otherwise yield 0/0 demands. *)
+    endpoints) — the configuration that would otherwise yield 0/0 demands.
+    @raise Invalid_argument when the selected pairs carry zero total
+    gravity mass. *)
 
 val random_pairs : Topo.Graph.t -> seed:int -> fraction:float -> (int * int) list
 (** Random subset of origin-destination pairs: each ordered traffic-node pair

@@ -38,17 +38,24 @@ let copy t =
       (match t.rep with Dense a -> Dense (Array.copy a) | Sparse h -> Sparse (Hashtbl.copy h));
   }
 
+(* Sparse entries in ascending key order: float folds over them must not
+   depend on hash iteration order (sums reassociate). *)
+let sorted_entries h =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) h [] |> List.sort (Eutil.Order.by fst Int.compare)
+
 let fold_values t ~init ~f =
   match t.rep with
   | Dense a -> Array.fold_left f init a
-  | Sparse h -> Hashtbl.fold (fun _ v acc -> f acc v) h init
+  | Sparse h -> List.fold_left (fun acc (_, v) -> f acc v) init (sorted_entries h)
 
 let scale t factor =
   match t.rep with
   | Dense a -> { n = t.n; rep = Dense (Array.map (fun x -> x *. factor) a) }
   | Sparse h ->
       let h' = Hashtbl.create (Hashtbl.length h) in
-      Hashtbl.iter (fun k v -> if v *. factor <> 0.0 then Hashtbl.replace h' k (v *. factor)) h;
+      List.iter
+        (fun (k, v) -> if v *. factor <> 0.0 then Hashtbl.replace h' k (v *. factor))
+        (sorted_entries h);
       { n = t.n; rep = Sparse h' }
 
 let total t = fold_values t ~init:0.0 ~f:( +. )
@@ -70,12 +77,9 @@ let iter_flows t ~f =
       done
   | Sparse h ->
       (* Deterministic (origin, destination) order. *)
-      let keys = Hashtbl.fold (fun k v acc -> if v > 0.0 then k :: acc else acc) h [] in
       List.iter
-        (* Keys were folded out of [h] just above, so the lookup cannot
-           miss. *)
-        (fun k -> f (k / t.n) (k mod t.n) (Hashtbl.find h k) (* lint: allow hashtbl-find *))
-        (List.sort Int.compare keys)
+        (fun (k, v) -> if v > 0.0 then f (k / t.n) (k mod t.n) v)
+        (sorted_entries h)
 
 let fold_flows t ~init ~f =
   let acc = ref init in

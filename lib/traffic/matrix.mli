@@ -8,7 +8,10 @@ val create : int -> t
 val size : t -> int
 
 val get : t -> int -> int -> float
+
 val set : t -> int -> int -> float -> unit
+(** @raise Invalid_argument on a non-zero diagonal (self) demand. *)
+
 val add_to : t -> int -> int -> float -> unit
 
 val copy : t -> t

@@ -7,7 +7,8 @@ type episode = { start : float; duration : float; peak_volume : float }
 
 val peak_episodes : Trace.t -> threshold:float -> episode list
 (** Maximal runs of consecutive intervals whose aggregate volume is at least
-    [threshold] times the trace's maximum aggregate volume, in time order. *)
+    [threshold] times the trace's maximum aggregate volume, in time order.
+    @raise Invalid_argument unless [threshold] lies in (0, 1]. *)
 
 val mean_peak_duration : Trace.t -> threshold:float -> float
 (** Average episode duration in seconds (0 when no episode exists). *)

@@ -16,8 +16,8 @@ val demand_at :
   float ->
   Eutil.Units.bps Eutil.Units.q
 (** [demand_at ~peak ~period t] is [peak * (1 - cos (2 pi t / period)) / 2]:
-    0 at t = 0, [peak] at half period. Raises [Invalid_argument] on a
-    non-positive period. *)
+    0 at t = 0, [peak] at half period.
+    @raise Invalid_argument on a non-positive period. *)
 
 val fattree :
   Topo.Fattree.t ->

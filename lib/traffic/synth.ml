@@ -52,7 +52,7 @@ let geant_like g ?(seed = 42) ?(days = 15) ?interval ?mean_utilisation ?(noise_s
           List.iter
             (fun od ->
               (* Every od of [pairs] is seeded into [walk] at creation. *)
-              let w = Hashtbl.find walk od in (* lint: allow hashtbl-find *)
+              let w = Option.value (Hashtbl.find_opt walk od) ~default:1.0 in
               let w' = w *. Eutil.Prng.lognormal rng ~mu:0.0 ~sigma:(0.1 *. (0.3 +. (0.7 *. diurnal t))) in
               (* Mean reversion keeps shares bounded. *)
               Hashtbl.replace walk od (max 0.25 (min 4.0 (w' ** 0.97))))
@@ -60,7 +60,9 @@ let geant_like g ?(seed = 42) ?(days = 15) ?interval ?mean_utilisation ?(noise_s
         let m = Matrix.create (Topo.Graph.node_count g) in
         List.iter
           (fun (o, d) ->
-            let share = Matrix.get base o d *. Hashtbl.find walk (o, d) in (* lint: allow hashtbl-find *)
+            let share =
+              Matrix.get base o d *. Option.value (Hashtbl.find_opt walk (o, d)) ~default:1.0
+            in
             let noise = Eutil.Prng.lognormal rng ~mu:0.0 ~sigma:sigma_now in
             Matrix.add_to m o d (volume *. share *. noise))
           pairs;

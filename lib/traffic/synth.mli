@@ -19,8 +19,8 @@ val geant_like :
     given sigma (default 0.3) and by a slow per-OD random walk, so that demand
     proportions — and hence minimal network subsets — shift during busy hours
     but settle at night. [mean_utilisation] (default 0.05) scales the mean
-    aggregate volume relative to the sum of link capacities. Raises
-    [Invalid_argument] on a non-positive interval or a zero-capacity
+    aggregate volume relative to the sum of link capacities.
+    @raise Invalid_argument on a non-positive interval or a zero-capacity
     topology — both would otherwise corrupt the trace silently. *)
 
 val google_dc_like :
@@ -37,4 +37,5 @@ val google_dc_like :
     Each flow follows a mean-reverting multiplicative random walk around a
     diurnal target, calibrated so that roughly half of the 5-minute intervals
     see a >= 20 % change in a node's outgoing traffic — the headline statistic
-    of the paper's Figure 1a. *)
+    of the paper's Figure 1a.
+    @raise Invalid_argument on a non-positive interval. *)

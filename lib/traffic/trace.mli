@@ -5,6 +5,9 @@
 type t = { start : float; interval : float; tms : Matrix.t array }
 
 val make : ?start:float -> interval:float -> Matrix.t array -> t
+(** @raise Invalid_argument on an empty series or a non-positive
+    interval. *)
+
 val length : t -> int
 val at : t -> int -> Matrix.t
 val time_of : t -> int -> float
@@ -14,7 +17,8 @@ val iter : t -> f:(int -> float -> Matrix.t -> unit) -> unit
 (** [f index time tm] for each interval. *)
 
 val subsample : t -> every:int -> t
-(** Keeps one interval in [every]; the interval length scales accordingly. *)
+(** Keeps one interval in [every]; the interval length scales accordingly.
+    @raise Invalid_argument if [every] is not positive. *)
 
 val peak : t -> Matrix.t
 (** Element-wise envelope: per-OD maximum across the trace — the peak-hour

@@ -10,6 +10,8 @@ val of_csv : n:int -> string -> Trace.t
     @raise Invalid_argument on malformed input. *)
 
 val save : Trace.t -> string -> unit
-(** Writes to a file path. *)
+(** Writes to a file path.
+    @raise Sys_error if the file cannot be written (the descriptor is
+    closed before the exception is re-raised). *)
 
 val load : n:int -> string -> Trace.t

@@ -8,7 +8,8 @@ val stdev : float array -> float
 
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [0,100], linear interpolation between order
-    statistics. The input array is not modified. *)
+    statistics. The input array is not modified.
+    @raise Invalid_argument on an empty array. *)
 
 type boxplot = {
   min : float;

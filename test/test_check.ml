@@ -335,6 +335,242 @@ let test_framework_validates () =
   Alcotest.(check int) "entries cover pairs" (List.length pairs)
     (List.length (Response.Tables.entries tables))
 
+(* ------------------------- callgraph / effect ----------------------- *)
+
+module Cg = Check.Callgraph
+module Eff = Check.Effect
+
+let src ?(entry = false) ~lib file text =
+  { Cg.sc_file = file; Cg.sc_library = lib; Cg.sc_entry = entry; Cg.sc_text = text }
+
+(* A two-library fixture with a known call graph: [helper] is private and
+   partial, [top] reaches it, [safe] is total and never called. *)
+let fixture_sources =
+  [
+    src ~lib:"alib" "alib/a.ml"
+      "let helper xs = List.hd xs\n\nlet safe x = x + 1\n\nlet top xs = helper xs\n";
+    src ~lib:"alib" "alib/a.mli"
+      "val top : int list -> int\n(** First element. *)\n\nval safe : int -> int\n";
+    src ~lib:"blib" "blib/b.ml" "let use xs = A.top xs\n";
+    src ~lib:"blib" "blib/b.mli" "val use : int list -> int\n";
+    src ~entry:true ~lib:"main" "bin/main.ml" "let () = ignore (B.use [ 1 ])\n";
+  ]
+
+let fixture () = Cg.build_sources fixture_sources
+
+let test_cg_defs () =
+  let g = fixture () in
+  let names =
+    Array.to_list g.Cg.defs
+    |> List.map (fun d -> d.Cg.d_module ^ "." ^ d.Cg.d_name)
+    |> List.sort String.compare
+  in
+  Alcotest.(check (list string))
+    "all toplevel defs found"
+    [ "A.helper"; "A.safe"; "A.top"; "B.use"; "Main.()" ]
+    names;
+  let helper = Option.get (Cg.find_def g ~module_:"A" ~name:"helper") in
+  let top = Option.get (Cg.find_def g ~module_:"A" ~name:"top") in
+  Alcotest.(check bool) "helper hidden by mli" false helper.Cg.d_public;
+  Alcotest.(check bool) "top exported by mli" true top.Cg.d_public;
+  Alcotest.(check bool) "entry flagged" true
+    (Option.get (Cg.find_def g ~module_:"Main" ~name:"()")).Cg.d_entry
+
+let test_cg_edges () =
+  let g = fixture () in
+  let id m n = (Option.get (Cg.find_def g ~module_:m ~name:n)).Cg.d_id in
+  Alcotest.(check (list int)) "top calls helper" [ id "A" "helper" ] g.Cg.callees.(id "A" "top");
+  Alcotest.(check (list int)) "use resolves cross-library A.top" [ id "A" "top" ]
+    g.Cg.callees.(id "B" "use");
+  Alcotest.(check (list int)) "safe calls nothing" [] g.Cg.callees.(id "A" "safe");
+  (* Shortest chain entry -> partial primitive. *)
+  let base i = Eff.base_of_body g.Cg.defs.(i).Cg.d_body in
+  match
+    Cg.witness g ~from:(id "Main" "()")
+      ~target:(fun i -> not (Eff.Strings.is_empty (base i).Eff.partial))
+  with
+  | Some chain ->
+      Alcotest.(check (list int))
+        "witness chain"
+        [ id "Main" "()"; id "B" "use"; id "A" "top"; id "A" "helper" ]
+        chain
+  | None -> Alcotest.fail "no witness chain found"
+
+let test_cg_submodule_and_alias () =
+  let g =
+    Cg.build_sources
+      [
+        src ~lib:"alib" "alib/deep.ml"
+          "module Builder = struct\n  let make x = Option.get x\nend\n";
+        src ~lib:"blib" "blib/client.ml"
+          "module D = Deep\n\nlet go x = D.Builder.make x\n";
+      ]
+  in
+  let mk = Option.get (Cg.find_def g ~module_:"Deep.Builder" ~name:"make") in
+  let go = Option.get (Cg.find_def g ~module_:"Client" ~name:"go") in
+  Alcotest.(check (list int)) "alias + submodule resolve" [ mk.Cg.d_id ] g.Cg.callees.(go.Cg.d_id)
+
+let test_cg_raise_doc () =
+  let g =
+    Cg.build_sources
+      [
+        src ~lib:"alib" "alib/r.ml"
+          "let boom () = failwith \"no\"\n\nlet quiet () = failwith \"no\"\n";
+        src ~lib:"alib" "alib/r.mli"
+          "val boom : unit -> unit\n(** Always fails.\n    @raise Failure always. *)\n\n\
+           val quiet : unit -> unit\n(** Undocumented. *)\n";
+      ]
+  in
+  let doc v = List.find_opt (fun x -> x.Cg.v_name = v) g.Cg.vals in
+  Alcotest.(check bool) "boom documented" true (Option.get (doc "boom")).Cg.v_raise_doc;
+  Alcotest.(check bool) "quiet undocumented" false (Option.get (doc "quiet")).Cg.v_raise_doc
+
+let effect_of s = Eff.base_of_string s
+let strings l = Eff.Strings.of_list l
+
+let test_effect_base () =
+  let e = effect_of "let f h = Hashtbl.find h k\n" in
+  Alcotest.(check bool) "partial find" true (Eff.Strings.mem "Hashtbl.find" e.Eff.partial);
+  let e = effect_of "let f xs = List.hd xs + Option.get o\n" in
+  Alcotest.(check bool) "hd+get" true
+    (Eff.equal_effects e { Eff.empty with Eff.partial = strings [ "List.hd"; "Option.get" ] });
+  Alcotest.(check bool) "literal Array.get fine" true
+    (Eff.equal_effects (effect_of "let f a = Array.get a 0\n") Eff.empty);
+  Alcotest.(check bool) "computed Array.get partial" true
+    (Eff.Strings.mem "Array.get" (effect_of "let f a i = Array.get a i\n").Eff.partial);
+  Alcotest.(check bool) "raise" true (effect_of "let f () = failwith \"x\"\n").Eff.raises;
+  Alcotest.(check bool) "raise Exit local" false (effect_of "let f () = raise Exit\n").Eff.raises;
+  Alcotest.(check bool) "locally handled exn" false
+    (effect_of "let f () = try g (raise Overflow) with Overflow -> 0\n").Eff.raises;
+  Alcotest.(check bool) "clock nondet" true
+    (Eff.Strings.mem "Unix.gettimeofday" (effect_of "let now () = Unix.gettimeofday ()\n").Eff.nondet);
+  Alcotest.(check bool) "io" true (effect_of "let f () = print_endline \"hi\"\n").Eff.io
+
+let test_effect_sorted_fold () =
+  let bare = effect_of "let keys h = Hashtbl.fold (fun k _ acc -> k :: acc) h []\n" in
+  Alcotest.(check bool) "bare fold is nondet" true (Eff.Strings.mem "Hashtbl.fold" bare.Eff.nondet);
+  let sorted =
+    effect_of
+      "let keys h = Hashtbl.fold (fun k _ acc -> k :: acc) h [] |> List.sort Int.compare\n"
+  in
+  Alcotest.(check bool) "fold-then-sort is deterministic" true
+    (Eff.Strings.is_empty sorted.Eff.nondet)
+
+let test_effect_fixpoint_transitive () =
+  let g = fixture () in
+  let eff = Eff.infer g in
+  let id m n = (Option.get (Cg.find_def g ~module_:m ~name:n)).Cg.d_id in
+  Alcotest.(check bool) "partial propagates to entry" true
+    (Eff.Strings.mem "List.hd" eff.(id "Main" "()").Eff.partial);
+  Alcotest.(check bool) "safe stays clean" true (Eff.equal_effects eff.(id "A" "safe") Eff.empty)
+
+let test_effect_rules_fire () =
+  let findings = Eff.analyze (fixture ()) in
+  let wheres r =
+    List.filter (fun f -> f.F.rule = r) findings
+    |> List.map (fun f -> f.F.where)
+    |> List.sort String.compare
+  in
+  (* Both public values on the chain are reported, each with its own
+     witness. *)
+  Alcotest.(check (list string))
+    "partial-reachable on both public vals"
+    [ "alib/a.ml:5"; "blib/b.ml:1" ]
+    (wheres "partial-reachable");
+  Alcotest.(check (list string)) "only safe is dead" [ "alib/a.ml:3" ] (wheres "dead-function");
+  Alcotest.(check (list string)) "no nondet-export in fixture" [] (wheres "nondet-export")
+
+let test_effect_nondet_export_rule () =
+  let bad =
+    Cg.build_sources
+      [
+        src ~lib:"alib" "alib/export.ml"
+          "let to_json h = Hashtbl.fold (fun k v acc -> acc ^ k ^ string_of_float v) h \"\"\n";
+      ]
+  in
+  Alcotest.(check bool) "unsorted export flagged" true
+    (F.has_rule "nondet-export" (Eff.analyze bad));
+  let good =
+    Cg.build_sources
+      [
+        src ~lib:"alib" "alib/export.ml"
+          "let to_json h =\n\
+          \  Hashtbl.fold (fun k v acc -> (k, v) :: acc) h []\n\
+          \  |> List.sort (fun (a, _) (b, _) -> String.compare a b)\n\
+          \  |> List.map snd |> List.map string_of_float |> String.concat \",\"\n";
+      ]
+  in
+  Alcotest.(check bool) "sorted export clean" false
+    (F.has_rule "nondet-export" (Eff.analyze good))
+
+let test_effect_undocumented_raise_rule () =
+  let g =
+    Cg.build_sources
+      [
+        src ~lib:"alib" "alib/r.ml"
+          "let boom () = failwith \"no\"\n\nlet quiet () = failwith \"no\"\n";
+        src ~lib:"alib" "alib/r.mli"
+          "val boom : unit -> unit\n(** Always fails.\n    @raise Failure always. *)\n\n\
+           val quiet : unit -> unit\n(** Undocumented. *)\n";
+      ]
+  in
+  let hits =
+    List.filter (fun f -> f.F.rule = "undocumented-raise") (Eff.analyze g)
+    |> List.map (fun f -> f.F.where)
+  in
+  Alcotest.(check (list string)) "only the undocumented val" [ "alib/r.mli:5" ] hits
+
+(* Monotonicity: adding one edge to a random graph never shrinks any
+   definition's fixpoint effect set. *)
+let prop_fixpoint_monotone =
+  let n = 8 in
+  let base_of_seed st i =
+    let bit k = (st lsr ((4 * i) + k)) land 1 = 1 in
+    {
+      Eff.raises = bit 0;
+      Eff.partial = (if bit 1 then strings [ "List.hd" ] else Eff.Strings.empty);
+      Eff.nondet = (if bit 2 then strings [ "Hashtbl.fold" ] else Eff.Strings.empty);
+      Eff.io = bit 3;
+    }
+  in
+  QCheck.Test.make ~name:"effect fixpoint is monotone in the edge set" ~count:200
+    QCheck.(triple (int_bound ((1 lsl 30) - 1)) (int_bound ((1 lsl 30) - 1)) (pair (int_bound (n - 1)) (int_bound (n - 1))))
+    (fun (bseed, eseed, (extra_src, extra_dst)) ->
+      let edges i =
+        (* A deterministic pseudo-random adjacency from the seed. *)
+        List.filter (fun j -> (eseed lsr ((3 * i) + j)) land 1 = 1) [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+      in
+      let base i = base_of_seed bseed i in
+      let before = Eff.fixpoint ~n ~callees:edges ~base in
+      let edges' i = if i = extra_src then extra_dst :: edges i else edges i in
+      let after = Eff.fixpoint ~n ~callees:edges' ~base in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if not (Eff.leq before.(i) after.(i)) then ok := false
+      done;
+      !ok)
+
+let test_budget_parse () =
+  Alcotest.(check (list (pair string int)))
+    "parses"
+    [ ("dead-function", 3); ("undocumented-raise", 0) ]
+    (Eff.parse_budget "{\n  \"dead-function\": 3,\n  \"undocumented-raise\": 0\n}\n");
+  Alcotest.(check (list (pair string int))) "empty object" [] (Eff.parse_budget "{}");
+  Alcotest.check_raises "malformed" (Invalid_argument "Effect.parse_budget: expected '{'")
+    (fun () -> ignore (Eff.parse_budget "[]"))
+
+let test_budget_ratchet () =
+  let warn rule = F.v ~severity:F.Warn ~rule ~where:"x:1" "w" in
+  let findings = [ warn "dead-function"; warn "dead-function"; warn "undocumented-raise" ] in
+  Alcotest.(check int) "within budget -> no finding" 0
+    (List.length
+       (Eff.over_budget ~budget:[ ("dead-function", 2); ("undocumented-raise", 1) ] findings));
+  let over = Eff.over_budget ~budget:[ ("dead-function", 1) ] findings in
+  Alcotest.(check (list string)) "both rules over" [ "budget-exceeded"; "budget-exceeded" ]
+    (List.map (fun f -> f.F.rule) over);
+  Alcotest.(check bool) "budget violations are errors" true
+    (List.for_all (fun f -> f.F.severity = F.Error) over)
+
 let () =
   Alcotest.run "check"
     [
@@ -378,5 +614,27 @@ let () =
           Alcotest.test_case "traffic matrix" `Quick test_traffic_matrix;
           Alcotest.test_case "power model" `Quick test_power_model;
           Alcotest.test_case "framework validates" `Quick test_framework_validates;
+        ] );
+      ( "callgraph",
+        [
+          Alcotest.test_case "defs and visibility" `Quick test_cg_defs;
+          Alcotest.test_case "edges and witness" `Quick test_cg_edges;
+          Alcotest.test_case "submodule and alias" `Quick test_cg_submodule_and_alias;
+          Alcotest.test_case "@raise doc harvest" `Quick test_cg_raise_doc;
+        ] );
+      ( "effect",
+        [
+          Alcotest.test_case "base effects" `Quick test_effect_base;
+          Alcotest.test_case "sorted-fold idiom" `Quick test_effect_sorted_fold;
+          Alcotest.test_case "fixpoint transitive" `Quick test_effect_fixpoint_transitive;
+          Alcotest.test_case "rules on fixture" `Quick test_effect_rules_fire;
+          Alcotest.test_case "nondet-export rule" `Quick test_effect_nondet_export_rule;
+          Alcotest.test_case "undocumented-raise rule" `Quick test_effect_undocumented_raise_rule;
+          QCheck_alcotest.to_alcotest prop_fixpoint_monotone;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "parse" `Quick test_budget_parse;
+          Alcotest.test_case "ratchet" `Quick test_budget_ratchet;
         ] );
     ]

@@ -135,6 +135,29 @@ let test_harness_deterministic_json () =
   | Ok () -> ()
   | Error e -> Alcotest.failf "chaos JSON invalid: %s" e
 
+(* The summary JSON must depend only on the demand set, not on the order
+   flows were inserted into the matrix — the hash-backed sparse
+   representation must never leak iteration order into the report. *)
+let test_harness_insertion_order_independent () =
+  let json_with shuffle =
+    let ex, tables, base = fig3 () in
+    let flows = Traffic.Matrix.flows base in
+    let base' = Traffic.Matrix.of_flows (Traffic.Matrix.size base) (shuffle flows) in
+    let spec =
+      {
+        Scenario.default with
+        Scenario.seed = 3;
+        duration = 5.0;
+        link_faults = Some { Scenario.mtbf = 2.0; mttr = 0.4 };
+      }
+    in
+    Harness.to_json
+      (Harness.run ~config:fast_config ~tables ~power:(power_of ex) ~base:base' ~spec ~trials:2 ())
+  in
+  Alcotest.(check string) "insertion order does not change the bytes"
+    (json_with Fun.id)
+    (json_with List.rev)
+
 let test_harness_aggregates () =
   let r = run_harness ~trials:3 1 in
   Alcotest.(check int) "trials run" 3 (Array.length r.Harness.trials);
@@ -232,6 +255,8 @@ let () =
       ( "harness",
         [
           Alcotest.test_case "deterministic JSON" `Quick test_harness_deterministic_json;
+          Alcotest.test_case "insertion-order independent" `Quick
+            test_harness_insertion_order_independent;
           Alcotest.test_case "aggregates" `Quick test_harness_aggregates;
           Alcotest.test_case "node failure accounts loss" `Quick test_node_failure_scenario_accounts_loss;
           QCheck_alcotest.to_alcotest prop_conservation;

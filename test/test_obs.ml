@@ -184,6 +184,44 @@ let test_export_prometheus_golden () =
    ^ "# TYPE temp_celsius gauge\n" ^ "temp_celsius{site=\"lab \\\"A\\\"\"} 21.5\n")
     (Obs.Export.to_prometheus (R.snapshot reg))
 
+(* Registration order must not leak into export bytes: the exporters sort
+   samples by (name, labels), so two registries holding the same instruments
+   registered in opposite orders render identically. *)
+let test_export_order_independence () =
+  let make order =
+    let reg = R.create () in
+    let counter () = M.Counter.create ~registry:reg ~help:"Total requests" "requests_total" in
+    let gauge label =
+      M.Gauge.create ~registry:reg ~help:"Lab temperature" ~labels:[ ("site", label) ]
+        "temp_celsius"
+    in
+    let fill c ga gb =
+      with_obs (fun () ->
+          M.Counter.add_int c 3;
+          M.Gauge.set ga 21.5;
+          M.Gauge.set gb 19.0)
+    in
+    (match order with
+    | `Forward ->
+        let c = counter () in
+        let ga = gauge "a" in
+        let gb = gauge "b" in
+        fill c ga gb
+    | `Reverse ->
+        let gb = gauge "b" in
+        let ga = gauge "a" in
+        let c = counter () in
+        fill c ga gb);
+    R.snapshot reg
+  in
+  let fwd = make `Forward and rev = make `Reverse in
+  Alcotest.(check string) "text order-independent" (Obs.Export.to_text fwd)
+    (Obs.Export.to_text rev);
+  Alcotest.(check string) "json order-independent" (Obs.Export.to_json fwd)
+    (Obs.Export.to_json rev);
+  Alcotest.(check string) "prometheus order-independent" (Obs.Export.to_prometheus fwd)
+    (Obs.Export.to_prometheus rev)
+
 let test_export_histogram_structure () =
   with_obs (fun () ->
       let reg = R.create () in
@@ -288,6 +326,7 @@ let () =
           Alcotest.test_case "text golden" `Quick test_export_text_golden;
           Alcotest.test_case "json golden" `Quick test_export_json_golden;
           Alcotest.test_case "prometheus golden" `Quick test_export_prometheus_golden;
+          Alcotest.test_case "order independence" `Quick test_export_order_independence;
           Alcotest.test_case "histogram structure" `Quick test_export_histogram_structure;
           Alcotest.test_case "validate_json" `Quick test_validate_json_rejects;
         ] );

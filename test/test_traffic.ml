@@ -58,6 +58,29 @@ let test_matrix_sparse_representation () =
   Matrix.set c 1 2 1.0;
   Alcotest.(check bool) "copy independent" false (Matrix.equal m c)
 
+(* Sparse iteration and folds must not depend on hashtable insertion
+   order: the same flow set inserted forwards and backwards produces the
+   same flow list (sorted by (o, d)), the same float totals (folds
+   reassociate), and the same scaled matrix. *)
+let test_matrix_sparse_order_independent () =
+  let n = 200 in
+  let flow i = (i, ((i * 7) mod (n - 1)) + 1, 1.0 +. (0.125 *. float_of_int i)) in
+  let flows =
+    List.init 150 (fun i -> flow (i mod (n - 1)))
+    |> List.filter (fun (o, d, _) -> o <> d)
+  in
+  let fwd = Matrix.of_flows n flows and rev = Matrix.of_flows n (List.rev flows) in
+  Alcotest.(check bool) "matrices equal" true (Matrix.equal fwd rev);
+  Alcotest.(check bool) "flow lists identical" true (Matrix.flows fwd = Matrix.flows rev);
+  Alcotest.(check (float 0.0)) "totals bit-identical" (Matrix.total fwd) (Matrix.total rev);
+  Alcotest.(check (float 0.0)) "max bit-identical" (Matrix.max_demand fwd)
+    (Matrix.max_demand rev);
+  Alcotest.(check bool) "scaled matrices equal" true
+    (Matrix.flows (Matrix.scale fwd 0.3) = Matrix.flows (Matrix.scale rev 0.3));
+  let pairs = Matrix.pairs fwd in
+  Alcotest.(check bool) "iteration is (o, d)-sorted" true
+    (List.sort (Eutil.Order.pair Int.compare Int.compare) pairs = pairs)
+
 let prop_matrix_dense_sparse_agree =
   QCheck.Test.make ~name:"dense and sparse matrices agree" ~count:100
     QCheck.(small_list (triple (int_range 0 9) (int_range 0 9) (float_bound_exclusive 100.0)))
@@ -251,6 +274,8 @@ let () =
           Alcotest.test_case "rejects diagonal" `Quick test_matrix_rejects_diagonal;
           Alcotest.test_case "flows desc" `Quick test_flows_desc;
           Alcotest.test_case "sparse representation" `Quick test_matrix_sparse_representation;
+          Alcotest.test_case "sparse order independence" `Quick
+            test_matrix_sparse_order_independent;
           QCheck_alcotest.to_alcotest prop_matrix_dense_sparse_agree;
         ] );
       ( "gravity",
