@@ -335,3 +335,61 @@ let chaos () =
     (List.length sweep);
   kvf "of the lossy cuts, partitioning" "%d of %d" partitioning (List.length lossy);
   note "a partitioning cut cannot be routed around; its loss is booked, not hidden"
+
+(* ------------------------------------------------------------------ *)
+
+(* Certified multicore fan-out (check/parallel.json): the chaos harness
+   trials and the per-pair failover precompute at --jobs 1/2/4. The
+   committed numbers are honest wall-clocks for whatever cores the bench
+   host has — on a single-core host the fan-out buys nothing and the rows
+   show it; the byte-identity column is the part that must never change. *)
+
+let parallel_timings : (string * int * float) list ref = ref []
+
+let parallel () =
+  section "Parallel: certified fan-out wall-clock and determinism at jobs 1/2/4";
+  let g = Lazy.force Figures.geant in
+  let power = Lazy.force Figures.geant_power in
+  let pairs = Traffic.Gravity.random_node_pairs g ~seed:7 ~fraction:0.7 in
+  let tables = Response.Framework.precompute g power ~pairs in
+  let base = Traffic.Gravity.make g ~pairs ~total:(Eutil.Units.gbps 5.0) () in
+  let trials = if fast then 2 else 4 in
+  let duration = if fast then 4.0 else 8.0 in
+  let spec =
+    {
+      Fault.Scenario.default with
+      Fault.Scenario.seed = 42;
+      duration;
+      link_faults = Some { Fault.Scenario.mtbf = 3.0; mttr = 0.5 };
+    }
+  in
+  parallel_timings := [];
+  kvf "domains recommended by the runtime" "%d" (Eutil.Pool.default_jobs ());
+  row "  %-12s %-6s %-12s %s@." "workload" "jobs" "seconds" "output vs jobs 1";
+  let chaos_ref = ref "" in
+  List.iter
+    (fun jobs ->
+      let r, dur =
+        Obs.Span.timed "bench.parallel.chaos" (fun () ->
+            Fault.Harness.run ~jobs ~tables ~power ~base ~spec ~trials ())
+      in
+      let json = Fault.Harness.to_json r in
+      if !chaos_ref = "" then chaos_ref := json;
+      parallel_timings := ("chaos", jobs, dur) :: !parallel_timings;
+      row "  %-12s %-6d %-12.3f %s@." "chaos" jobs dur
+        (if json = !chaos_ref then "byte-identical" else "DIVERGED"))
+    [ 1; 2; 4 ];
+  let pre_ref = ref "" in
+  List.iter
+    (fun jobs ->
+      let t, dur =
+        Obs.Span.timed "bench.parallel.precompute" (fun () ->
+            Response.Framework.precompute ~jobs g power ~pairs)
+      in
+      let rendered = Format.asprintf "%a" Response.Tables.pp t in
+      if !pre_ref = "" then pre_ref := rendered;
+      parallel_timings := ("precompute", jobs, dur) :: !parallel_timings;
+      row "  %-12s %-6d %-12.3f %s@." "precompute" jobs dur
+        (if rendered = !pre_ref then "byte-identical" else "DIVERGED"))
+    [ 1; 2; 4 ];
+  parallel_timings := List.rev !parallel_timings

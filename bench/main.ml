@@ -31,6 +31,7 @@ let sections : (string * (unit -> unit)) list =
     ("openflow", Extensions.openflow);
     ("eate", Extensions.eate);
     ("chaos", Extensions.chaos);
+    ("parallel", Extensions.parallel);
     ("micro", Micro.run);
   ]
 
@@ -44,10 +45,24 @@ let emit_json path timings total_s =
     Printf.sprintf "{\"name\":\"%s\",\"seconds\":%.6f}" (Obs.Export.json_escape name) dur
   in
   let samples = Obs.Registry.snapshot Obs.Registry.default in
+  (* Wall-clocks from the certified fan-outs ("parallel" section): honest
+     numbers for this host's core count, keyed by workload and job count. *)
+  let parallel_json =
+    match !Extensions.parallel_timings with
+    | [] -> ""
+    | ts ->
+        Printf.sprintf ",\"parallel\":[%s]"
+          (String.concat ","
+             (List.map
+                (fun (workload, jobs, dur) ->
+                  Printf.sprintf "{\"workload\":\"%s\",\"jobs\":%d,\"seconds\":%.6f}"
+                    (Obs.Export.json_escape workload) jobs dur)
+                ts))
+  in
   let doc =
-    Printf.sprintf "{\"sections\":[%s],\"total_seconds\":%.6f,\"obs\":%s}"
+    Printf.sprintf "{\"sections\":[%s],\"total_seconds\":%.6f%s,\"obs\":%s}"
       (String.concat "," (List.map section_json timings))
-      total_s
+      total_s parallel_json
       (String.trim (Obs.Export.to_json samples))
   in
   (match Obs.Export.validate_json doc with

@@ -72,6 +72,15 @@ let beta_arg =
     & opt (some float) None
     & info [ "beta" ] ~docv:"BETA" ~doc:"REsPoNse-lat latency bound (e.g. 0.25).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Fan certified parallel loops out over $(docv) domains (Eutil.Pool). Output is \
+           byte-identical for any $(docv).")
+
 let pairs_of g ~seed ~fraction = Traffic.Gravity.random_node_pairs g ~seed ~fraction
 
 let with_topology name f =
@@ -128,12 +137,12 @@ let topo_cmd =
 (* ------------------------------ tables ------------------------------ *)
 
 let tables_cmd =
-  let run name seed fraction beta =
+  let run name seed fraction beta jobs =
     with_topology name (fun t g ->
         let power = power_of t g in
         let pairs = pairs_of g ~seed ~fraction in
         let config = { Response.Framework.default with latency_beta = beta } in
-        let tables = Response.Framework.precompute ~config g power ~pairs in
+        let tables = Response.Framework.precompute ~config ~jobs g power ~pairs in
         Format.printf "%a@." Response.Tables.pp tables;
         let ao = Response.Tables.always_on_state tables in
         Format.printf "always-on footprint: %a (%.1f%% of full power)@." (Topo.State.pp g) ao
@@ -153,7 +162,8 @@ let tables_cmd =
         0)
   in
   let doc = "Precompute the always-on / on-demand / failover tables." in
-  Cmd.v (Cmd.info "tables" ~doc) Term.(const run $ topology_arg $ seed_arg $ fraction_arg $ beta_arg)
+  Cmd.v (Cmd.info "tables" ~doc)
+    Term.(const run $ topology_arg $ seed_arg $ fraction_arg $ beta_arg $ jobs_arg)
 
 (* ------------------------------- power ------------------------------ *)
 
@@ -288,16 +298,29 @@ let analyze_cmd =
     Arg.(value & opt (some string) None & info [ "budget" ] ~docv:"FILE" ~doc)
   in
   let rules_arg = Arg.(value & flag & info [ "rules" ] ~doc:"List the analysis rules and exit.") in
-  let run dirs entries budget json list_rules =
+  let parallel_arg =
+    let doc =
+      "Parallel-region manifest (JSON object mapping region name to an array of entrypoint \
+       names); enables the shared-write-reachable and prng-shared domain-safety rules \
+       (Check.Share) for the declared entrypoints."
+    in
+    Arg.(value & opt (some string) None & info [ "parallel" ] ~docv:"FILE" ~doc)
+  in
+  let run dirs entries budget parallel json list_rules =
     if list_rules then begin
       List.iter
-        (fun (id, doc) -> Format.printf "%-18s %s@." id doc)
-        (Check.Flow.rules @ Check.Effect.rules);
+        (fun (id, doc) -> Format.printf "%-22s %s@." id doc)
+        (Check.Flow.rules @ Check.Effect.rules @ Check.Share.rules);
       0
     end
     else begin
       let budget_paths = match budget with Some b -> [ b ] | None -> [] in
-      match List.filter (fun p -> not (Sys.file_exists p)) (dirs @ entries @ budget_paths) with
+      let parallel_paths = match parallel with Some p -> [ p ] | None -> [] in
+      match
+        List.filter
+          (fun p -> not (Sys.file_exists p))
+          (dirs @ entries @ budget_paths @ parallel_paths)
+      with
       | p :: _ ->
           Format.eprintf "analyze: no such path %s@." p;
           2
@@ -309,20 +332,28 @@ let analyze_cmd =
                 try Ok (Some (Check.Effect.parse_budget (Check.Srclint.read_file file)))
                 with Invalid_argument msg -> Error msg)
           in
-          match allowed with
-          | Error msg ->
+          let manifest =
+            match parallel with
+            | None -> Ok []
+            | Some file -> (
+                try Ok (Check.Share.parse_manifest (Check.Srclint.read_file file))
+                with Invalid_argument msg -> Error msg)
+          in
+          match (allowed, manifest) with
+          | Error msg, _ | _, Error msg ->
               Format.eprintf "analyze: %s@." msg;
               2
-          | Ok allowed -> (
+          | Ok allowed, Ok manifest -> (
               let flow = Check.Flow.analyze_paths dirs in
               let graph = Check.Callgraph.build ~entries dirs in
               let effect = Check.Effect.analyze graph in
+              let share = Check.Share.analyze ~manifest graph in
               let ratchet =
                 match allowed with
                 | None -> []
-                | Some budget -> Check.Effect.over_budget ~budget effect
+                | Some budget -> Check.Effect.over_budget ~budget (effect @ share)
               in
-              let findings = flow @ effect @ ratchet in
+              let findings = flow @ effect @ share @ ratchet in
               report_findings ~json findings;
               match findings with
               | [] ->
@@ -336,12 +367,13 @@ let analyze_cmd =
     end
   in
   let doc =
-    "Static analysis of the OCaml sources: numeric-safety dataflow (Check.Flow) plus \
-     interprocedural effect inference over the call graph (Check.Callgraph, Check.Effect)."
+    "Static analysis of the OCaml sources: numeric-safety dataflow (Check.Flow), \
+     interprocedural effect inference over the call graph (Check.Callgraph, Check.Effect) and \
+     the domain-safety shared-mutable-state audit (Check.Share)."
   in
   Cmd.v
     (Cmd.info "analyze" ~doc)
-    Term.(const run $ dirs_arg $ entries_arg $ budget_arg $ json_arg $ rules_arg)
+    Term.(const run $ dirs_arg $ entries_arg $ budget_arg $ parallel_arg $ json_arg $ rules_arg)
 
 (* ------------------------------- check ------------------------------ *)
 
@@ -352,11 +384,11 @@ let check_cmd =
         let pairs = pairs_of g ~seed ~fraction in
         (* Collect findings ourselves instead of letting precompute raise on
            the first error, so the report is complete. *)
-        let saved = !Response.Framework.install_checks in
-        Response.Framework.install_checks := false;
+        let saved = Atomic.get Response.Framework.install_checks in
+        Atomic.set Response.Framework.install_checks false;
         let tables =
           Fun.protect
-            ~finally:(fun () -> Response.Framework.install_checks := saved)
+            ~finally:(fun () -> Atomic.set Response.Framework.install_checks saved)
             (fun () ->
               let config = { Response.Framework.default with latency_beta = beta } in
               Response.Framework.precompute ~config g power ~pairs)
@@ -559,7 +591,7 @@ let chaos_cmd =
           ~doc:"Scale the demand by $(docv) for a fifth of the run, starting mid-run.")
   in
   let run name seed fraction trials mtbf mttr node_mtbf node_mttr duration load flap srlg
-      surge json =
+      surge jobs json =
     with_topology name (fun t g ->
         let power = power_of t g in
         let pairs = pairs_of g ~seed ~fraction in
@@ -605,7 +637,7 @@ let chaos_cmd =
                   ]);
           }
         in
-        let report = Fault.Harness.run ~tables ~power ~base ~spec ~trials () in
+        let report = Fault.Harness.run ~jobs ~tables ~power ~base ~spec ~trials () in
         if json then print_string (Fault.Harness.to_json report ^ "\n")
         else begin
           let open Fault.Harness in
@@ -633,7 +665,7 @@ let chaos_cmd =
     Term.(
       const run $ topology_arg $ seed_arg $ fraction_arg $ trials_arg $ mtbf_arg $ mttr_arg
       $ node_mtbf_arg $ node_mttr_arg $ duration_arg $ load_arg $ flap_arg $ srlg_arg
-      $ surge_arg $ json_arg)
+      $ surge_arg $ jobs_arg $ json_arg)
 
 (* ------------------------------ export ------------------------------ *)
 

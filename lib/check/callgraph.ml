@@ -28,7 +28,14 @@ type vdecl = {
   v_raise_doc : bool;
 }
 
-type t = { defs : def array; callees : int list array; vals : vdecl list }
+type file = {
+  f_path : string;
+  f_library : string;
+  f_entry : bool;
+  f_toks : S.tok array;
+}
+
+type t = { defs : def array; callees : int list array; vals : vdecl list; files : file list }
 
 (* ------------------------------------------------------------------ *)
 (* Small string helpers                                               *)
@@ -68,9 +75,22 @@ type mark = { m_idx : int; m_def : (string * string * int) option }
 (* Name of the definition whose [let]/[and] keyword is at token [i]:
    ["()"] for unit bindings, the operator symbol for [let ( + ) ...],
    ["_"] for wildcard or destructuring patterns. *)
+let is_attr t = String.length t >= 2 && t.[0] = '[' && t.[1] = '@'
+
 let def_name (toks : S.tok array) i =
   let n = Array.length toks in
-  let j = if i + 1 < n && toks.(i + 1).S.t = "rec" then i + 2 else i + 1 in
+  (* Skip, in any order: attributes ([let[@inline] f]), extension markers
+     ([let%test ...] lexes as "%" "test"), and [rec]. *)
+  let rec skip j =
+    if j >= n then j
+    else
+      let t = toks.(j).S.t in
+      if is_attr t then skip (j + 1)
+      else if t = "%" then skip (j + 2)
+      else if t = "rec" then skip (j + 1)
+      else j
+  in
+  let j = skip (i + 1) in
   if j >= n then "_"
   else
     let tj = toks.(j).S.t in
@@ -165,7 +185,7 @@ let defs_of_ml ~library ~entry ~file text =
             }
             :: !defs)
     marks;
-  (List.rev !defs, aliases)
+  (List.rev !defs, aliases, toks)
 
 (* ------------------------------------------------------------------ *)
 (* val declarations (and @raise docs) from one .mli file              *)
@@ -242,7 +262,13 @@ let build_sources sources =
         Hashtbl.replace mli_modules (s.sc_library, module_of_file s.sc_file) ())
     mli;
   let per_file = List.map (fun s -> (s, defs_of_ml ~library:s.sc_library ~entry:s.sc_entry ~file:s.sc_file s.sc_text)) ml in
-  let all = List.concat_map (fun (_, (ds, _)) -> ds) per_file in
+  let all = List.concat_map (fun (_, (ds, _, _)) -> ds) per_file in
+  let files =
+    List.map
+      (fun (s, (_, _, toks)) ->
+        { f_path = s.sc_file; f_library = s.sc_library; f_entry = s.sc_entry; f_toks = toks })
+      per_file
+  in
   let defs =
     Array.of_list
       (List.mapi
@@ -268,7 +294,7 @@ let build_sources sources =
       multi_add by_file (d.d_file ^ ":" ^ d.d_name) d.d_id)
     defs;
   let aliases_of_file = Hashtbl.create 16 in
-  List.iter (fun (s, (_, al)) -> Hashtbl.replace aliases_of_file s.sc_file al) per_file;
+  List.iter (fun (s, (_, al, _)) -> Hashtbl.replace aliases_of_file s.sc_file al) per_file;
   let callees = Array.make (Array.length defs) [] in
   Array.iter
     (fun d ->
@@ -324,7 +350,7 @@ let build_sources sources =
         d.d_body;
       callees.(d.d_id) <- List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) seen []))
     defs;
-  { defs; callees; vals }
+  { defs; callees; vals; files }
 
 (* ------------------------------------------------------------------ *)
 (* Directory walking and dune stanza sniffing                         *)

@@ -55,10 +55,22 @@ type vdecl = {
 }
 (** One [val] declaration from an [.mli]. *)
 
+type file = {
+  f_path : string;
+  f_library : string;
+  f_entry : bool;
+  f_toks : Srclint.tok array;  (** full cleaned token stream of the [.ml] *)
+}
+(** One analysed [.ml] file's whole token stream, kept alongside the defs
+    so passes that need file-scope context (e.g. {!Share} scanning for
+    [mutable] field declarations or Mutex/Atomic discipline) do not
+    re-tokenize. *)
+
 type t = {
   defs : def array;
   callees : int list array;  (** [callees.(i)] = defs that [defs.(i)] may call *)
   vals : vdecl list;
+  files : file list;  (** token streams of the [.ml] inputs, in source order *)
 }
 
 val build_sources : source list -> t

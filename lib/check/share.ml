@@ -1,0 +1,595 @@
+(* Domain-safety analysis: which definitions can touch shared mutable
+   state, and may a declared parallel entrypoint reach a write of it?
+
+   Like Effect, this is a heuristic token-level analysis over the
+   Callgraph: no typing, no aliasing — a "root" is a toplevel value
+   binding whose transitive may-allocate set is nonempty (it owns a ref /
+   array / hashtable / PRNG / lazy cell that survives module init), and
+   reads/writes of roots are propagated through the call graph to a Kleene
+   fixpoint. See share.mli and DESIGN.md §11 for the accepted blind
+   spots. *)
+
+module S = Srclint
+module Ints = Set.Make (Int)
+
+type root_kind = Mutable | Prng | Lazy_val
+
+type root = {
+  r_id : int;
+  r_def : int;  (* def id of the binding; -1 for the ambient Stdlib.Random *)
+  r_name : string;  (* qualified, e.g. "Registry.default" *)
+  r_kind : root_kind;
+  r_guarded : bool;
+  r_file : string;
+  r_line : int;
+}
+
+type klass = Domain_safe | Reader | Writer
+
+type audit = {
+  a_graph : Callgraph.t;
+  a_roots : root array;
+  a_base_reads : Ints.t array;  (* per def: roots read directly *)
+  a_base_writes : Ints.t array;  (* per def: roots written directly *)
+  a_reads : Ints.t array;  (* transitive closure over callees *)
+  a_writes : Ints.t array;
+}
+
+let kind_to_string = function
+  | Mutable -> "mutable state"
+  | Prng -> "PRNG stream"
+  | Lazy_val -> "lazy cell"
+
+(* ------------------------------------------------------------------ *)
+(* Token vocabularies                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Allocators of mutable storage. [Atomic.make] and [Mutex.create] are
+   deliberately absent: state reachable only through them is its own
+   discipline. *)
+let alloc_prims =
+  [ "Hashtbl.create"; "Hashtbl.copy"; "Array.make"; "Array.create_float"; "Array.init";
+    "Array.copy"; "Array.make_matrix"; "Bytes.create"; "Bytes.make"; "Bytes.of_string";
+    "Buffer.create"; "Queue.create"; "Stack.create" ]
+
+let prng_prims = [ "Eutil.Prng.create"; "Eutil.Prng.split"; "Prng.create"; "Prng.split" ]
+
+(* Mutating primitives whose next token is the mutated value. *)
+let mutator_prims =
+  [ "Hashtbl.replace"; "Hashtbl.add"; "Hashtbl.remove"; "Hashtbl.reset"; "Hashtbl.clear";
+    "Hashtbl.filter_map_inplace"; "Array.set"; "Array.fill"; "Array.blit"; "Array.sort";
+    "Array.fast_sort"; "Array.unsafe_set"; "Bytes.set"; "Bytes.fill"; "Bytes.blit";
+    "Bytes.unsafe_set"; "Buffer.add_string"; "Buffer.add_char"; "Buffer.add_bytes";
+    "Buffer.add_buffer"; "Buffer.add_substitute"; "Buffer.clear"; "Buffer.reset";
+    "Buffer.truncate"; "Queue.push"; "Queue.add"; "Queue.pop"; "Queue.take"; "Queue.clear";
+    "Queue.transfer"; "Stack.push"; "Stack.pop"; "Stack.clear"; "Lazy.force";
+    (* Obs instruments, under every qualification the repo uses. *)
+    "Obs.Metric.Counter.incr"; "Obs.Metric.Counter.add"; "Obs.Metric.Counter.add_int";
+    "Metric.Counter.incr"; "Metric.Counter.add"; "Metric.Counter.add_int"; "Counter.incr";
+    "Counter.add"; "Counter.add_int"; "Obs.Metric.Gauge.set"; "Obs.Metric.Gauge.set_int";
+    "Obs.Metric.Gauge.add"; "Metric.Gauge.set"; "Metric.Gauge.set_int"; "Metric.Gauge.add";
+    "Gauge.set"; "Gauge.set_int"; "Gauge.add"; "Obs.Metric.Histogram.observe";
+    "Obs.Metric.Histogram.time"; "Metric.Histogram.observe"; "Metric.Histogram.time";
+    "Histogram.observe"; "Histogram.time"; "Obs.Registry.reset"; "Registry.reset";
+    "Obs.Registry.register"; "Registry.register" ]
+
+(* A file whose tokens use any of these has an owning-module concurrency
+   discipline; mutable state it allocates is considered guarded. *)
+let discipline_prefixes = [ "Mutex."; "Atomic."; "Domain.DLS" ]
+
+let is_upper s = s <> "" && s.[0] >= 'A' && s.[0] <= 'Z'
+let is_lower s = s <> "" && ((s.[0] >= 'a' && s.[0] <= 'z') || s.[0] = '_')
+let is_attr t = String.length t >= 2 && t.[0] = '[' && t.[1] = '@'
+let starts_with ~prefix s = String.starts_with ~prefix s
+
+let split_dots s = String.split_on_char '.' s
+
+(* ------------------------------------------------------------------ *)
+(* File-scope context: discipline and mutable record fields           *)
+(* ------------------------------------------------------------------ *)
+
+let file_discipline (files : Callgraph.file list) =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Callgraph.file) ->
+      let disciplined =
+        Array.exists
+          (fun { S.t; _ } -> List.exists (fun p -> starts_with ~prefix:p t) discipline_prefixes)
+          f.Callgraph.f_toks
+      in
+      Hashtbl.replace tbl f.Callgraph.f_path disciplined)
+    files;
+  tbl
+
+(* (library, field_name) for every [mutable foo : ...] declaration: a
+   record literal mentioning such a field allocates mutable state. *)
+let mutable_fields (files : Callgraph.file list) =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (f : Callgraph.file) ->
+      let toks = f.Callgraph.f_toks in
+      Array.iteri
+        (fun i { S.t; _ } ->
+          if t = "mutable" && i + 1 < Array.length toks then begin
+            let next = toks.(i + 1).S.t in
+            if is_lower next && not (String.contains next '.') then
+              Hashtbl.replace tbl (f.Callgraph.f_library, next) ()
+          end)
+        toks)
+    files;
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* May-allocate fixpoint and root harvesting                          *)
+(* ------------------------------------------------------------------ *)
+
+type alloc = { au : bool; ag : bool; ap : bool; al : bool }
+(* unguarded mutable / guarded mutable / prng / lazy *)
+
+let alloc_none = { au = false; ag = false; ap = false; al = false }
+
+let alloc_union a b =
+  { au = a.au || b.au; ag = a.ag || b.ag; ap = a.ap || b.ap; al = a.al || b.al }
+
+let alloc_equal a b = a = b
+let alloc_any a = a.au || a.ag || a.ap || a.al
+
+(* [ref] is an allocator only when applied; after an identifier or inside
+   a type expression ([int ref], [: bool ref =]) it is a type constructor. *)
+let ref_applied (body : S.tok array) i =
+  let n = Array.length body in
+  (i = 0 || not (is_lower body.(i - 1).S.t || is_upper body.(i - 1).S.t))
+  && i + 1 < n
+  &&
+  let next = body.(i + 1).S.t in
+  not (List.mem next [ "="; ")"; "]"; "}"; ";"; ","; "->"; "|"; ":"; "*" ])
+
+let base_alloc ~disciplined ~mut_fields (d : Callgraph.def) =
+  let body = d.Callgraph.d_body in
+  let guarded = disciplined d.Callgraph.d_file in
+  let a = ref alloc_none in
+  Array.iteri
+    (fun i { S.t; _ } ->
+      if List.mem t alloc_prims || (t = "ref" && ref_applied body i) then
+        a := alloc_union !a (if guarded then { alloc_none with ag = true } else { alloc_none with au = true })
+      else if List.mem t prng_prims then a := alloc_union !a { alloc_none with ap = true }
+      else if t = "lazy" then a := alloc_union !a { alloc_none with al = true }
+      else if
+        is_lower t
+        && (not (String.contains t '.'))
+        && Hashtbl.mem mut_fields (d.Callgraph.d_library, t)
+        && i + 1 < Array.length body
+        && body.(i + 1).S.t = "="
+        && (i = 0 || not (List.mem body.(i - 1).S.t [ "let"; "and"; "rec" ]))
+      then
+        (* Record literal initialising a mutable field. *)
+        a := alloc_union !a (if guarded then { alloc_none with ag = true } else { alloc_none with au = true }))
+    body;
+  !a
+
+(* Is this def a plain value binding ([let name = ...] / [let name : t = ...]),
+   as opposed to a function or destructuring pattern? Only value bindings
+   hold state that outlives module initialisation. *)
+let binding_is_value (body : S.tok array) =
+  let n = Array.length body in
+  let rec skip j =
+    if j >= n then n
+    else
+      let t = body.(j).S.t in
+      if is_attr t then skip (j + 1)
+      else if t = "%" then skip (j + 2)
+      else if t = "rec" then skip (j + 1)
+      else j
+  in
+  let j = skip 1 in
+  j + 1 < n
+  && is_lower body.(j).S.t
+  && (not (String.contains body.(j).S.t '.'))
+  && (body.(j + 1).S.t = "=" || body.(j + 1).S.t = ":")
+
+let modkey module_path =
+  match List.rev (split_dots module_path) with x :: _ -> x | [] -> module_path
+
+(* ------------------------------------------------------------------ *)
+(* Audit                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fixpoint_sets ~n ~callees base =
+  let sets = Array.init n base in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      let merged = List.fold_left (fun acc j -> Ints.union acc sets.(j)) sets.(i) (callees i) in
+      if not (Ints.equal merged sets.(i)) then begin
+        sets.(i) <- merged;
+        changed := true
+      end
+    done
+  done;
+  sets
+
+let audit (g : Callgraph.t) =
+  let defs = g.Callgraph.defs in
+  let n = Array.length defs in
+  let discipline = file_discipline g.Callgraph.files in
+  let disciplined file = Option.value (Hashtbl.find_opt discipline file) ~default:false in
+  let mut_fields = mutable_fields g.Callgraph.files in
+  (* 1. May-allocate fixpoint: does evaluating this def (transitively)
+     allocate mutable storage? *)
+  let alloc =
+    let base = Array.init n (fun i -> base_alloc ~disciplined ~mut_fields defs.(i)) in
+    let sets = Array.copy base in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for i = 0 to n - 1 do
+        let merged =
+          List.fold_left (fun acc j -> alloc_union acc sets.(j)) sets.(i) g.Callgraph.callees.(i)
+        in
+        if not (alloc_equal merged sets.(i)) then begin
+          sets.(i) <- merged;
+          changed := true
+        end
+      done
+    done;
+    sets
+  in
+  (* 2. Roots: non-entry toplevel value bindings whose evaluation allocates
+     mutable storage, plus the ambient Stdlib.Random state. *)
+  let roots = ref [] in
+  let next_id = ref 0 in
+  Array.iter
+    (fun (d : Callgraph.def) ->
+      let a = alloc.(d.Callgraph.d_id) in
+      if
+        (not d.Callgraph.d_entry)
+        && binding_is_value d.Callgraph.d_body
+        && alloc_any a
+      then begin
+        let kind = if a.ap then Prng else if a.al && not a.au && not a.ag then Lazy_val else Mutable in
+        let guarded = disciplined d.Callgraph.d_file || (a.ag && not a.au) in
+        roots :=
+          {
+            r_id = !next_id;
+            r_def = d.Callgraph.d_id;
+            r_name = modkey d.Callgraph.d_module ^ "." ^ d.Callgraph.d_name;
+            r_kind = kind;
+            r_guarded = guarded;
+            r_file = d.Callgraph.d_file;
+            r_line = d.Callgraph.d_line;
+          }
+          :: !roots;
+        incr next_id
+      end)
+    defs;
+  let random_id = !next_id in
+  let random_root =
+    {
+      r_id = random_id;
+      r_def = -1;
+      r_name = "Stdlib.Random";
+      r_kind = Prng;
+      r_guarded = false;
+      r_file = "<stdlib>";
+      r_line = 0;
+    }
+  in
+  let roots = Array.of_list (List.rev (random_root :: !roots)) in
+  (* 3. Resolution indices: root references by (file, name) for undotted /
+     lowercase-dotted uses and by (modkey, name) for qualified uses. *)
+  let by_file = Hashtbl.create 64 in
+  let by_modkey = Hashtbl.create 64 in
+  let multi_add tbl k v =
+    match Hashtbl.find_opt tbl k with
+    | Some l -> Hashtbl.replace tbl k (v :: l)
+    | None -> Hashtbl.add tbl k [ v ]
+  in
+  Array.iter
+    (fun r ->
+      if r.r_def >= 0 then begin
+        let d = defs.(r.r_def) in
+        multi_add by_file (d.Callgraph.d_file, d.Callgraph.d_name) r.r_id;
+        multi_add by_modkey (modkey d.Callgraph.d_module, d.Callgraph.d_name) r.r_id
+      end)
+    roots;
+  let resolve (d : Callgraph.def) t =
+    if starts_with ~prefix:"Random." t then [ random_id ]
+    else if String.contains t '.' then begin
+      let comps = split_dots t in
+      match comps with
+      | first :: _ when is_lower first ->
+          (* Field or method access on a local/file-scope name: resolve the
+             base against this file's roots. *)
+          Option.value (Hashtbl.find_opt by_file (d.Callgraph.d_file, first)) ~default:[]
+      | _ ->
+          (* Qualified: find the last Module component followed by a value
+             name, with the component before it as a library hint. *)
+          let arr = Array.of_list comps in
+          let m = Array.length arr in
+          let idx = ref (-1) in
+          for k = 0 to m - 2 do
+            if is_upper arr.(k) && is_lower arr.(k + 1) then idx := k
+          done;
+          if !idx < 0 then []
+          else begin
+            let mk = arr.(!idx) and name = arr.(!idx + 1) in
+            let hint = if !idx > 0 then arr.(!idx - 1) else "" in
+            let cands =
+              Option.value (Hashtbl.find_opt by_modkey (mk, name)) ~default:[]
+            in
+            if hint = "" then begin
+              let same =
+                List.filter
+                  (fun r -> defs.(roots.(r).r_def).Callgraph.d_library = d.Callgraph.d_library)
+                  cands
+              in
+              if same = [] then cands else same
+            end
+            else
+              List.filter
+                (fun r ->
+                  let rd = defs.(roots.(r).r_def) in
+                  String.capitalize_ascii rd.Callgraph.d_library = hint
+                  || List.mem hint (split_dots rd.Callgraph.d_module))
+                cands
+          end
+    end
+    else if is_lower t then
+      Option.value (Hashtbl.find_opt by_file (d.Callgraph.d_file, t)) ~default:[]
+    else []
+  in
+  (* 4. Base read/write sets from each body's root references in context. *)
+  let scan (d : Callgraph.def) =
+    let body = d.Callgraph.d_body in
+    let nb = Array.length body in
+    let tok j = if j >= 0 && j < nb then body.(j).S.t else "" in
+    let reads = ref Ints.empty and writes = ref Ints.empty in
+    (* [a.(i) <- v]: the root token is followed by ".", "(", a balanced
+       group, then "<-". *)
+    let index_assign i =
+      if tok (i + 1) <> "." || tok (i + 2) <> "(" then false
+      else begin
+        let depth = ref 1 and j = ref (i + 3) in
+        while !depth > 0 && !j < nb do
+          (match tok !j with "(" -> incr depth | ")" -> decr depth | _ -> ());
+          incr j
+        done;
+        !depth = 0 && tok !j = "<-"
+      end
+    in
+    Array.iteri
+      (fun i { S.t; _ } ->
+        match resolve d t with
+        | [] -> ()
+        | rs ->
+            let prev = tok (i - 1) and next = tok (i + 1) in
+            let write_ctx =
+              next = ":=" || next = "<-"
+              || prev = "incr" || prev = "decr" || prev = "Stdlib.incr" || prev = "Stdlib.decr"
+              || List.mem prev mutator_prims
+              || List.exists (fun p -> starts_with ~prefix:p prev) [ "Eutil.Prng."; "Prng." ]
+              || index_assign i
+            in
+            List.iter
+              (fun r ->
+                if roots.(r).r_def = d.Callgraph.d_id then ()
+                  (* a binding's own initialiser neither reads nor writes *)
+                else if write_ctx || roots.(r).r_kind <> Mutable then
+                  (* any use of a PRNG stream advances it; any use of a
+                     lazy cell may force it *)
+                  writes := Ints.add r !writes
+                else reads := Ints.add r !reads)
+              rs)
+      body;
+    (!reads, !writes)
+  in
+  let base = Array.map scan defs in
+  let base_reads = Array.map fst base in
+  let base_writes = Array.map snd base in
+  let reads =
+    fixpoint_sets ~n ~callees:(fun i -> g.Callgraph.callees.(i)) (fun i -> base_reads.(i))
+  in
+  let writes =
+    fixpoint_sets ~n ~callees:(fun i -> g.Callgraph.callees.(i)) (fun i -> base_writes.(i))
+  in
+  {
+    a_graph = g;
+    a_roots = roots;
+    a_base_reads = base_reads;
+    a_base_writes = base_writes;
+    a_reads = reads;
+    a_writes = writes;
+  }
+
+let roots a = a.a_roots
+
+let classify a i =
+  if not (Ints.is_empty a.a_writes.(i)) then Writer
+  else if not (Ints.is_empty a.a_reads.(i)) then Reader
+  else Domain_safe
+
+let reads a i = Ints.elements a.a_reads.(i)
+let writes a i = Ints.elements a.a_writes.(i)
+
+(* ------------------------------------------------------------------ *)
+(* Manifest                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_manifest s =
+  let n = String.length s in
+  let i = ref 0 in
+  let fail msg = invalid_arg ("Share.parse_manifest: " ^ msg) in
+  let skip () =
+    while !i < n && (match s.[!i] with ' ' | '\n' | '\t' | '\r' | ',' -> true | _ -> false) do
+      incr i
+    done
+  in
+  let string () =
+    if !i >= n || s.[!i] <> '"' then fail "expected a string";
+    incr i;
+    let start = !i in
+    while !i < n && s.[!i] <> '"' do
+      incr i
+    done;
+    if !i >= n then fail "unterminated string";
+    let v = String.sub s start (!i - start) in
+    incr i;
+    v
+  in
+  skip ();
+  if !i >= n || s.[!i] <> '{' then fail "expected '{'";
+  incr i;
+  let out = ref [] in
+  let closed = ref false in
+  while not !closed do
+    skip ();
+    if !i < n && s.[!i] = '}' then begin
+      incr i;
+      closed := true
+    end
+    else begin
+      let region = string () in
+      skip ();
+      if !i >= n || s.[!i] <> ':' then fail "expected ':'";
+      incr i;
+      skip ();
+      if !i >= n || s.[!i] <> '[' then fail "expected '['";
+      incr i;
+      let entries = ref [] in
+      let done_ = ref false in
+      while not !done_ do
+        skip ();
+        if !i < n && s.[!i] = ']' then begin
+          incr i;
+          done_ := true
+        end
+        else entries := string () :: !entries
+      done;
+      out := (region, List.rev !entries) :: !out
+    end
+  done;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Rules                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rules =
+  [
+    ( "shared-write-reachable",
+      "a declared parallel entrypoint transitively writes an unguarded shared mutable root" );
+    ( "unguarded-global",
+      "toplevel mutable root without owning-module Mutex/Atomic/Domain.DLS discipline (warn)" );
+    ("prng-shared", "one PRNG stream is reachable from two or more parallel entrypoints");
+    ("parallel-manifest", "an entrypoint named in check/parallel.json does not resolve");
+  ]
+
+let qualified (d : Callgraph.def) = d.Callgraph.d_module ^ "." ^ d.Callgraph.d_name
+let where_of (d : Callgraph.def) = Printf.sprintf "%s:%d" d.Callgraph.d_file d.Callgraph.d_line
+
+let chain_str (g : Callgraph.t) ids =
+  String.concat " -> " (List.map (fun i -> qualified g.Callgraph.defs.(i)) ids)
+
+(* Defs an entrypoint name resolves to: "Harness.run_trial" matches on the
+   module key, "Fault.Harness.run_trial" also on the library-qualified
+   path. *)
+let resolve_entry (g : Callgraph.t) name =
+  let matches (d : Callgraph.def) =
+    let mk = modkey d.Callgraph.d_module ^ "." ^ d.Callgraph.d_name in
+    let qual = qualified d in
+    let lib_qual =
+      String.capitalize_ascii d.Callgraph.d_library ^ "." ^ qual
+    in
+    name = mk || name = qual || name = lib_qual
+  in
+  Array.to_list g.Callgraph.defs |> List.filter matches
+
+let analyze ?(manifest = []) (g : Callgraph.t) =
+  let a = audit g in
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  (* unguarded-global: roots with no discipline that something actually
+     writes (an allocated-but-never-mutated table is shared read-only
+     data, not a hazard). PRNG and lazy roots count as written by use. *)
+  let written r =
+    Array.exists (fun ws -> Ints.mem r ws) a.a_base_writes
+  in
+  Array.iter
+    (fun r ->
+      if r.r_def >= 0 && (not r.r_guarded) && written r.r_id then
+        add
+          (Finding.v ~severity:Finding.Warn ~rule:"unguarded-global"
+             ~where:(Printf.sprintf "%s:%d" r.r_file r.r_line)
+             (Printf.sprintf "toplevel %s %s has no Mutex/Atomic/Domain.DLS discipline"
+                (kind_to_string r.r_kind) r.r_name)))
+    a.a_roots;
+  (* Per-region entrypoints. *)
+  let entries =
+    List.concat_map
+      (fun (region, names) ->
+        List.concat_map
+          (fun name ->
+            match resolve_entry g name with
+            | [] ->
+                add
+                  (Finding.v ~rule:"parallel-manifest" ~where:"check/parallel.json"
+                     (Printf.sprintf "parallel entrypoint %s (region %s) does not resolve" name
+                        region));
+                []
+            | ds -> List.map (fun d -> (region, name, d)) ds)
+          names)
+      manifest
+  in
+  (* shared-write-reachable: an entrypoint whose transitive write set
+     contains an unguarded root, with the shortest call chain to the
+     writing definition as witness. *)
+  List.iter
+    (fun (region, _name, (d : Callgraph.def)) ->
+      let i = d.Callgraph.d_id in
+      Ints.iter
+        (fun r ->
+          let root = a.a_roots.(r) in
+          if not root.r_guarded then begin
+            let via =
+              match
+                Callgraph.witness g ~from:i ~target:(fun j -> Ints.mem r a.a_base_writes.(j))
+              with
+              | Some ids -> chain_str g ids
+              | None -> qualified d
+            in
+            add
+              (Finding.v ~rule:"shared-write-reachable" ~where:(where_of d)
+                 (Printf.sprintf "parallel entrypoint %s (region %s) reaches a write of %s %s via %s"
+                    (qualified d) region (kind_to_string root.r_kind) root.r_name via))
+          end)
+        a.a_writes.(i))
+    entries;
+  (* prng-shared: one PRNG stream (guarded or not — a mutex does not make
+     a stream's draw order deterministic) reachable from two or more
+     distinct entrypoints. *)
+  Array.iter
+    (fun root ->
+      if root.r_kind = Prng then begin
+        let users =
+          List.filter
+            (fun (_, _, (d : Callgraph.def)) ->
+              let i = d.Callgraph.d_id in
+              Ints.mem root.r_id a.a_reads.(i) || Ints.mem root.r_id a.a_writes.(i))
+            entries
+        in
+        let distinct =
+          List.sort_uniq Int.compare
+            (List.map (fun (_, _, (d : Callgraph.def)) -> d.Callgraph.d_id) users)
+        in
+        if List.length distinct >= 2 then
+          add
+            (Finding.v ~rule:"prng-shared"
+               ~where:(Printf.sprintf "%s:%d" root.r_file root.r_line)
+               (Printf.sprintf "PRNG stream %s is reachable from %d parallel entrypoints: %s"
+                  root.r_name (List.length distinct)
+                  (String.concat ", "
+                     (List.map (fun i -> qualified g.Callgraph.defs.(i)) distinct))))
+      end)
+    a.a_roots;
+  List.rev !findings

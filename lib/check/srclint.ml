@@ -253,6 +253,41 @@ let tokenize text =
       if !i < n && (text.[!i] = 'l' || text.[!i] = 'L' || text.[!i] = 'n') then incr i;
       toks := { t = String.sub text start (!i - start); tline = !line; tcol = col } :: !toks
     end
+    else if c = '[' && !i + 1 < n && text.[!i + 1] = '@' then begin
+      (* Attribute or floating attribute: [@inline], [@@deriving ...],
+         [@@@warning "-32"]. Emitted as a single token carrying just the
+         attribute name ("[@inline]"); the payload is consumed (tracking
+         nested brackets) and dropped, so attributed bindings like
+         [let[@inline] f x = ...] keep their [let]/name adjacency for the
+         definition scanners downstream. *)
+      let col = !i - !bol + 1 in
+      let ln = !line in
+      i := !i + 1;
+      while !i < n && text.[!i] = '@' do
+        incr i
+      done;
+      while !i < n && (text.[!i] = ' ' || text.[!i] = '\t') do
+        incr i
+      done;
+      let id_start = !i in
+      while !i < n && (is_id_char text.[!i] || text.[!i] = '.') do
+        incr i
+      done;
+      let name = String.sub text id_start (!i - id_start) in
+      let depth = ref 1 in
+      while !depth > 0 && !i < n do
+        let ch = text.[!i] in
+        incr i;
+        match ch with
+        | '[' -> incr depth
+        | ']' -> decr depth
+        | '\n' ->
+            incr line;
+            bol := !i
+        | _ -> ()
+      done;
+      toks := { t = "[@" ^ name ^ "]"; tline = ln; tcol = col } :: !toks
+    end
     else if
       !i + 1 < n
       && List.mem (String.sub text !i 2)

@@ -1,13 +1,22 @@
-let compute g ~protect ~pairs =
+(* One OD pair's failover computation. Independent of every other pair: it
+   reads the immutable graph and the fully-built [protect] table, and
+   allocates only locally — which is what lets [compute] fan the per-pair
+   loop out across domains. [pair_path] is a certified parallel entrypoint
+   declared in check/parallel.json; Check.Share verifies it cannot reach a
+   write of any unguarded shared root. *)
+let pair_path g ~protect (o, d) =
+  let installed = Option.value (Hashtbl.find_opt protect (o, d)) ~default:[] in
+  match Routing.Disjoint.max_disjoint g ~protect:installed ~src:o ~dst:d () with
+  | None -> None
+  | Some p ->
+      if List.exists (Topo.Path.equal p) installed then None else Some ((o, d), p)
+
+let compute ?(jobs = 1) g ~protect ~pairs =
+  let results = Eutil.Pool.map_array ~jobs (pair_path g ~protect) (Array.of_list pairs) in
+  (* Merge in [pairs] order — the same insertion order as the sequential
+     loop, so the resulting table iterates identically for any [jobs]. *)
   let table = Hashtbl.create (List.length pairs) in
-  List.iter
-    (fun (o, d) ->
-      let installed = Option.value (Hashtbl.find_opt protect (o, d)) ~default:[] in
-      match Routing.Disjoint.max_disjoint g ~protect:installed ~src:o ~dst:d () with
-      | None -> ()
-      | Some p ->
-          if not (List.exists (Topo.Path.equal p) installed) then Hashtbl.replace table (o, d) p)
-    pairs;
+  Array.iter (function None -> () | Some (od, p) -> Hashtbl.replace table od p) results;
   table
 
 let vulnerable_pairs g tables =

@@ -36,8 +36,10 @@ let m_evaluations =
 
 (* Debug-time validation of freshly installed tables (Check.Invariant). On
    by default so every test exercises it; RESPONSE_CHECKS=0 (or flipping the
-   ref) disables it for production-scale precomputations. *)
-let install_checks = ref (Sys.getenv_opt "RESPONSE_CHECKS" <> Some "0")
+   atomic) disables it for production-scale precomputations. An [Atomic.t]
+   rather than a [ref] so that flipping it is race-free with respect to a
+   concurrently running precompute. *)
+let install_checks = Atomic.make (Sys.getenv_opt "RESPONSE_CHECKS" <> Some "0")
 
 let validate_tables g ~pairs tables =
   let entries =
@@ -58,7 +60,7 @@ let validate_tables g ~pairs tables =
       invalid_arg
         ("Framework.precompute: table invariants violated:\n" ^ Check.Finding.render errors)
 
-let precompute ?(config = default) g power ~pairs =
+let precompute ?(config = default) ?(jobs = 1) g power ~pairs =
   if config.n_paths < 2 then invalid_arg "Framework.precompute: n_paths >= 2";
   Obs.Span.with_ "core.precompute" (fun () ->
       let always_on =
@@ -89,7 +91,7 @@ let precompute ?(config = default) g power ~pairs =
         pairs;
       let failover =
         Obs.Span.with_ "core.precompute.failover" (fun () ->
-            Failover.compute g ~protect ~pairs)
+            Failover.compute ~jobs g ~protect ~pairs)
       in
       let entries =
         List.filter_map
@@ -108,7 +110,7 @@ let precompute ?(config = default) g power ~pairs =
           pairs
       in
       let tables = Tables.make g entries in
-      if !install_checks then
+      if Atomic.get install_checks then
         Obs.Span.with_ "core.precompute.validate" (fun () ->
             validate_tables g ~pairs tables);
       Obs.Metric.Counter.incr m_precomputes;

@@ -27,15 +27,19 @@ val default : config
 (** Demand-oblivious: epsilon always-on, stress-factor (0.2) on-demand,
     N = 3, margin 1.0, no latency bound. *)
 
-val install_checks : bool ref
+val install_checks : bool Atomic.t
 (** When true (the default, unless the environment sets [RESPONSE_CHECKS=0]),
     {!precompute} runs the {!Check.Invariant.check_tables} validators on the
     freshly built tables and raises [Invalid_argument] on any error-severity
     finding (path validity, coverage, duplicate installs). Warnings, such as
     a maximally- but not fully-disjoint failover, are not fatal. *)
 
-val precompute : ?config:config -> Topo.Graph.t -> Power.Model.t -> pairs:(int * int) list -> Tables.t
-(** Builds the full table set for the given pairs.
+val precompute :
+  ?config:config -> ?jobs:int -> Topo.Graph.t -> Power.Model.t -> pairs:(int * int) list -> Tables.t
+(** Builds the full table set for the given pairs. [jobs] (default 1) fans
+    the per-pair failover stage out over that many domains (see
+    {!Failover.compute}); the resulting tables are identical for any
+    [jobs].
     @raise Invalid_argument if [n_paths < 2], if the always-on demands are
     infeasible on the full network, or (with {!install_checks} on) on any
     error-severity invariant finding. *)

@@ -117,8 +117,49 @@ let sleep_ratio_of ~links (samples : Netsim.Sim.sample array) =
 
 let conservation_tolerance = 1e-6
 
-let run ?(config = Netsim.Sim.default_config) ?(threshold = 0.999) ~tables ~power ~base
-    ~spec ~trials () =
+(* Trial [k] of a chaos run, derived entirely from [spec.seed + k]: the
+   scenario builds its own PRNG from that seed and the simulator state is
+   trial-local, so distinct trials share nothing but the read-only tables.
+   The only shared state touched is the Obs counters, which shard
+   per-domain (see Obs.Metric). This is a certified parallel entrypoint
+   declared in check/parallel.json. *)
+let run_trial ~config ~threshold ~tables ~power ~base ~spec ~pairs ~links k =
+  let spec = { spec with Scenario.seed = spec.Scenario.seed + k } in
+  let events = Scenario.events spec (Response.Tables.graph tables) ~base in
+  let r =
+    Netsim.Sim.run ~config ~tables ~power ~events ~duration:spec.Scenario.duration ()
+  in
+  Obs.Metric.Counter.incr m_trials;
+  let residual =
+    Float.abs (r.Netsim.Sim.offered_bits -. (r.Netsim.Sim.delivered_bits +. r.Netsim.Sim.lost_bits))
+  in
+  if residual > conservation_tolerance *. Float.max 1.0 r.Netsim.Sim.offered_bits then
+    invalid_arg
+      (Printf.sprintf "Harness.run: traffic not conserved (residual %.3e bits)" residual);
+  let timeline = demand_timeline events in
+  let availability, counted, recoveries =
+    pair_availability ~threshold ~interval:config.Netsim.Sim.sample_interval ~pairs
+      ~timeline r.Netsim.Sim.samples
+  in
+  Obs.Metric.Counter.add_int m_outages (Array.length recoveries);
+  {
+    tr_seed = spec.Scenario.seed;
+    tr_offered_bits = r.Netsim.Sim.offered_bits;
+    tr_delivered_bits = r.Netsim.Sim.delivered_bits;
+    tr_lost_bits = r.Netsim.Sim.lost_bits;
+    tr_availability = availability;
+    tr_pair_samples = counted;
+    tr_recoveries = recoveries;
+    tr_sleep_ratio = sleep_ratio_of ~links r.Netsim.Sim.samples;
+    tr_mean_power_percent = r.Netsim.Sim.mean_power_percent;
+    tr_wake_count = r.Netsim.Sim.wake_count;
+    tr_sleep_count = r.Netsim.Sim.sleep_count;
+    tr_rejected_wakes = r.Netsim.Sim.rejected_wake_count;
+    tr_fallback_routes = r.Netsim.Sim.fallback_count;
+  }
+
+let run ?(config = Netsim.Sim.default_config) ?(threshold = 0.999) ?(jobs = 1) ~tables
+    ~power ~base ~spec ~trials () =
   if trials <= 0 then invalid_arg "Harness.run: trials must be positive";
   if not (threshold > 0.0 && threshold <= 1.0) then
     invalid_arg "Harness.run: threshold must be in (0, 1]";
@@ -127,42 +168,12 @@ let run ?(config = Netsim.Sim.default_config) ?(threshold = 0.999) ~tables ~powe
     List.sort Eutil.Order.int_pair (Response.Tables.pairs tables)
   in
   let links = Topo.Graph.link_count g in
-  let one k =
-    let spec = { spec with Scenario.seed = spec.Scenario.seed + k } in
-    let events = Scenario.events spec g ~base in
-    let r =
-      Netsim.Sim.run ~config ~tables ~power ~events ~duration:spec.Scenario.duration ()
-    in
-    Obs.Metric.Counter.incr m_trials;
-    let residual =
-      Float.abs (r.Netsim.Sim.offered_bits -. (r.Netsim.Sim.delivered_bits +. r.Netsim.Sim.lost_bits))
-    in
-    if residual > conservation_tolerance *. Float.max 1.0 r.Netsim.Sim.offered_bits then
-      invalid_arg
-        (Printf.sprintf "Harness.run: traffic not conserved (residual %.3e bits)" residual);
-    let timeline = demand_timeline events in
-    let availability, counted, recoveries =
-      pair_availability ~threshold ~interval:config.Netsim.Sim.sample_interval ~pairs
-        ~timeline r.Netsim.Sim.samples
-    in
-    Obs.Metric.Counter.add_int m_outages (Array.length recoveries);
-    {
-      tr_seed = spec.Scenario.seed;
-      tr_offered_bits = r.Netsim.Sim.offered_bits;
-      tr_delivered_bits = r.Netsim.Sim.delivered_bits;
-      tr_lost_bits = r.Netsim.Sim.lost_bits;
-      tr_availability = availability;
-      tr_pair_samples = counted;
-      tr_recoveries = recoveries;
-      tr_sleep_ratio = sleep_ratio_of ~links r.Netsim.Sim.samples;
-      tr_mean_power_percent = r.Netsim.Sim.mean_power_percent;
-      tr_wake_count = r.Netsim.Sim.wake_count;
-      tr_sleep_count = r.Netsim.Sim.sleep_count;
-      tr_rejected_wakes = r.Netsim.Sim.rejected_wake_count;
-      tr_fallback_routes = r.Netsim.Sim.fallback_count;
-    }
+  (* Trial [k] lands at index [k] whichever domain ran it, so every
+     aggregate below folds in the same order for any [jobs]. *)
+  let trials =
+    Eutil.Pool.init ~jobs trials
+      (run_trial ~config ~threshold ~tables ~power ~base ~spec ~pairs ~links)
   in
-  let trials = Array.init trials one in
   let sum f = Array.fold_left (fun acc tr -> acc +. f tr) 0.0 trials in
   let sumi f = Array.fold_left (fun acc tr -> acc + f tr) 0 trials in
   let offered = sum (fun tr -> tr.tr_offered_bits) in

@@ -46,9 +46,28 @@ type report = {
   fallback_routes : int;
 }
 
+val run_trial :
+  config:Netsim.Sim.config ->
+  threshold:float ->
+  tables:Response.Tables.t ->
+  power:Power.Model.t ->
+  base:Traffic.Matrix.t ->
+  spec:Scenario.spec ->
+  pairs:(int * int) list ->
+  links:int ->
+  int ->
+  trial
+(** [run_trial ... k] is trial [k]: the scenario seeded [spec.seed + k],
+    simulated and measured. Trials are independent — everything reachable
+    is trial-local or read-only except the per-domain Obs counters — so
+    distinct trials may run on distinct domains (certified parallel
+    entrypoint, see check/parallel.json).
+    @raise Invalid_argument on a traffic-conservation violation. *)
+
 val run :
   ?config:Netsim.Sim.config ->
   ?threshold:float ->
+  ?jobs:int ->
   tables:Response.Tables.t ->
   power:Power.Model.t ->
   base:Traffic.Matrix.t ->
@@ -59,6 +78,10 @@ val run :
 (** Runs [trials] seeded scenarios ([spec.seed], [spec.seed + 1], ...) and
     aggregates. [threshold] (default 0.999) is the served fraction of a
     pair's demand below which a pair-sample counts as an outage sample.
+    [jobs] (default 1) fans the trials out over that many domains; trial
+    [k] lands at index [k] of the report whichever domain ran it, so the
+    report — and its {!to_json} rendering — is byte-identical for any
+    [jobs].
     @raise Invalid_argument on a traffic-conservation violation,
     [trials <= 0], or a threshold outside (0, 1]. *)
 

@@ -13,10 +13,6 @@ type outcome =
 
 let eps = 1e-9
 
-(* Pivots are tallied unconditionally into a module counter (one int add —
-   cheaper than a registry lookup) and the delta is published per solve. *)
-let pivots_ever = ref 0
-
 let m_pivots =
   Obs.Metric.Counter.create ~help:"Simplex pivot operations" "lp_simplex_pivots_total"
 
@@ -37,10 +33,11 @@ type tableau = {
   mutable cost : float array;
   mutable obj : float;
   ncols : int;
+  mutable npivots : int;  (* pivots applied to this tableau; published per solve *)
 }
 
 let pivot tb ~row ~col =
-  incr pivots_ever;
+  tb.npivots <- tb.npivots + 1;
   let m = Array.length tb.t in
   let r = tb.t.(row) in
   let piv = r.(col) in
@@ -171,7 +168,7 @@ let solve_raw { n_vars; objective; rows } =
           incr art_count;
           incr art))
     rows;
-  let tb = { t; basis; cost = Array.make ncols 0.0; obj = 0.0; ncols } in
+  let tb = { t; basis; cost = Array.make ncols 0.0; obj = 0.0; ncols; npivots = 0 } in
   (* Phase 1: minimise the sum of artificials. Reduced costs: 1 on artificial
      columns minus the rows where artificials are basic. *)
   if n_art > 0 then begin
@@ -185,7 +182,8 @@ let solve_raw { n_vars; objective; rows } =
       end
     done
   end;
-  match (if n_art > 0 then run_phase tb else `Optimal) with
+  let outcome =
+    match (if n_art > 0 then run_phase tb else `Optimal) with
   | `Unbounded -> Infeasible (* phase 1 is bounded below by 0; defensive *)
   | `Optimal when n_art > 0 && -.tb.obj > 1e-6 -> Infeasible
   | `Optimal ->
@@ -233,13 +231,14 @@ let solve_raw { n_vars; objective; rows } =
             Array.fold_left ( +. ) 0.0 (Array.mapi (fun j c -> c *. x.(j)) objective)
           in
           Optimal { x; objective = objective_value })
+  in
+  (outcome, tb.npivots)
 
 let solve p =
   if Obs.Control.enabled () then begin
-    let before = !pivots_ever in
-    let outcome = Obs.Metric.Histogram.time m_solve_seconds (fun () -> solve_raw p) in
+    let outcome, pivots = Obs.Metric.Histogram.time m_solve_seconds (fun () -> solve_raw p) in
     Obs.Metric.Counter.incr m_solves;
-    Obs.Metric.Counter.add_int m_pivots (!pivots_ever - before);
+    Obs.Metric.Counter.add_int m_pivots pivots;
     outcome
   end
-  else solve_raw p
+  else fst (solve_raw p)

@@ -1,18 +1,22 @@
 let default_source = Unix.gettimeofday
 
-let source = ref default_source
+let source = Atomic.make default_source
 
 (* Highest time seen so far: a source stepping backwards must not make a
-   span duration negative. *)
-let floor_s = ref neg_infinity
+   span duration negative. Maintained with a CAS loop so concurrent reads
+   from worker domains only ever move the floor forwards. *)
+let floor_s = Atomic.make neg_infinity
 
 let set_source f =
-  source := f;
-  floor_s := neg_infinity
+  Atomic.set source f;
+  Atomic.set floor_s neg_infinity
 
 let reset_source () = set_source default_source
 
-let now_s () =
-  let t = !source () in
-  if t > !floor_s then floor_s := t;
-  !floor_s
+let rec bump_floor t =
+  let cur = Atomic.get floor_s in
+  if t <= cur then cur
+  else if Atomic.compare_and_set floor_s cur t then t
+  else bump_floor t
+
+let now_s () = bump_floor (Atomic.get source ())

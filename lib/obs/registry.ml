@@ -32,12 +32,18 @@ type sample = {
 }
 
 type t = {
+  lock : Mutex.t;  (* guards all three fields; lock order: registry before instrument *)
   mutable collectors : collector list;  (* reversed: newest first *)
   keys : (string, unit) Hashtbl.t;  (* name + labels, for duplicate detection *)
   kinds : (string, kind) Hashtbl.t;  (* name -> kind, for consistency *)
 }
 
-let create () = { collectors = []; keys = Hashtbl.create 64; kinds = Hashtbl.create 64 }
+let create () =
+  { lock = Mutex.create (); collectors = []; keys = Hashtbl.create 64; kinds = Hashtbl.create 64 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let default = create ()
 
@@ -68,21 +74,23 @@ let register t c =
         invalid_arg
           (Printf.sprintf "Obs.Registry.register: invalid label name %S on %s" k c.c_name))
     c.c_labels;
-  (match Hashtbl.find_opt t.kinds c.c_name with
-  | Some k when k <> c.c_kind ->
-      invalid_arg
-        (Printf.sprintf "Obs.Registry.register: %s already registered as a %s" c.c_name
-           (kind_to_string k))
-  | _ -> ());
-  let k = key c.c_name c.c_labels in
-  if Hashtbl.mem t.keys k then
-    invalid_arg
-      (Printf.sprintf "Obs.Registry.register: duplicate metric %s (same label set)" c.c_name);
-  Hashtbl.replace t.keys k ();
-  Hashtbl.replace t.kinds c.c_name c.c_kind;
-  t.collectors <- c :: t.collectors
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.kinds c.c_name with
+      | Some k when k <> c.c_kind ->
+          invalid_arg
+            (Printf.sprintf "Obs.Registry.register: %s already registered as a %s" c.c_name
+               (kind_to_string k))
+      | _ -> ());
+      let k = key c.c_name c.c_labels in
+      if Hashtbl.mem t.keys k then
+        invalid_arg
+          (Printf.sprintf "Obs.Registry.register: duplicate metric %s (same label set)" c.c_name);
+      Hashtbl.replace t.keys k ();
+      Hashtbl.replace t.kinds c.c_name c.c_kind;
+      t.collectors <- c :: t.collectors)
 
 let snapshot t =
+  let collectors = locked t (fun () -> t.collectors) in
   List.rev_map
     (fun c ->
       {
@@ -92,9 +100,9 @@ let snapshot t =
         kind = c.c_kind;
         value = c.collect ();
       })
-    t.collectors
+    collectors
 
-let reset t = List.iter (fun c -> c.reset ()) t.collectors
+let reset t = List.iter (fun c -> c.reset ()) (locked t (fun () -> t.collectors))
 
 let value t ?(labels = []) name =
   let k = key name labels in
@@ -107,4 +115,4 @@ let value t ?(labels = []) name =
           | Histogram_v _ -> None
         else find rest
   in
-  find t.collectors
+  find (locked t (fun () -> t.collectors))

@@ -7,9 +7,16 @@ type node = {
 
 type frame = { fname : string; fstart : float; mutable fchildren : node list }
 
-let stack : frame list ref = ref []
+(* The open-frame stack is domain-local: spans opened inside an Eutil.Pool
+   worker nest under that worker's own roots, never under a frame of
+   another domain. Completed top-level spans from every domain funnel into
+   one queue behind a mutex. *)
+let stack_key : frame list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
 
 let completed : node Queue.t = Queue.create ()
+let completed_lock = Mutex.create ()
 
 let max_roots = 512
 
@@ -18,6 +25,7 @@ let span_seconds =
     "obs_span_seconds"
 
 let finish fr =
+  let stack = stack () in
   let dur = Clock.now_s () -. fr.fstart in
   (match !stack with f :: rest when f == fr -> stack := rest | _ -> ());
   Metric.Histogram.observe (Metric.Family.labels span_seconds [ fr.fname ]) dur;
@@ -27,8 +35,10 @@ let finish fr =
   (match !stack with
   | parent :: _ -> parent.fchildren <- node :: parent.fchildren
   | [] ->
+      Mutex.lock completed_lock;
       Queue.push node completed;
-      if Queue.length completed > max_roots then ignore (Queue.pop completed));
+      if Queue.length completed > max_roots then ignore (Queue.pop completed);
+      Mutex.unlock completed_lock);
   dur
 
 let timed name f =
@@ -38,6 +48,7 @@ let timed name f =
     (r, Clock.now_s () -. t0)
   end
   else begin
+    let stack = stack () in
     let fr = { fname = name; fstart = Clock.now_s (); fchildren = [] } in
     stack := fr :: !stack;
     let dur = ref 0.0 in
@@ -47,11 +58,19 @@ let timed name f =
 
 let with_ name f = fst (timed name f)
 
-let roots () = List.of_seq (Queue.to_seq completed)
+let roots () =
+  Mutex.lock completed_lock;
+  let r = List.of_seq (Queue.to_seq completed) in
+  Mutex.unlock completed_lock;
+  r
 
 let clear () =
+  Mutex.lock completed_lock;
   Queue.clear completed;
-  stack := []
+  Mutex.unlock completed_lock;
+  (* Only the calling domain's open frames can be dropped; other domains'
+     stacks are theirs alone (and empty outside a live fan-out). *)
+  stack () := []
 
 let to_text () =
   let buf = Buffer.create 256 in

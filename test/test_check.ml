@@ -111,6 +111,17 @@ let test_lexer_numbers_and_ops () =
   fires "catchall-try" "let f () = try 1.0 /. g () with _ -> 0.0\n";
   lints_clean "arith ops" "let y = (a +. 1e3) *. b -. c ** 2.0\nlet z = xs |> f\n"
 
+let test_lexer_attributes () =
+  (* An attribute is one token: rules still fire around it, payload text is
+     hidden, and a multi-line payload keeps line numbers honest. *)
+  fires "list-nth" "let[@inline] f l = List.nth l 3\n";
+  lints_clean "attr payload hidden" "let[@deprecated \"use List.nth instead\"] f l = l\n";
+  let fs = lint "let[@warning\n  \"-32\"] a = 1\nlet x = List.nth l 3\n" in
+  match fs with
+  | [ f ] -> Alcotest.(check bool) "line survives multi-line attr" true
+               (String.length f.F.where >= 12 && String.sub f.F.where 0 12 = "fixture.ml:3")
+  | _ -> Alcotest.fail "expected exactly one finding"
+
 (* ------------------------------- Flow -------------------------------- *)
 
 let analyze ?(file = "fixture.ml") src = Check.Flow.analyze_string ~file src
@@ -329,7 +340,9 @@ let test_power_model () =
 (* Framework wiring: precompute validates its own tables when the flag is on
    (the default) and still succeeds on a healthy topology. *)
 let test_framework_validates () =
-  Alcotest.(check bool) "checks on by default" true !Response.Framework.install_checks;
+  Alcotest.(check bool)
+    "checks on by default" true
+    (Atomic.get Response.Framework.install_checks);
   let pairs = [ (ex.Topo.Example.a, ex.Topo.Example.k); (ex.Topo.Example.c, ex.Topo.Example.k) ] in
   let tables = Response.Framework.precompute g (Power.Model.cisco12000 g) ~pairs in
   Alcotest.(check int) "entries cover pairs" (List.length pairs)
@@ -559,6 +572,25 @@ let test_budget_parse () =
   Alcotest.check_raises "malformed" (Invalid_argument "Effect.parse_budget: expected '{'")
     (fun () -> ignore (Eff.parse_budget "[]"))
 
+let test_cg_attributed_defs () =
+  (* [let[@inline] f] and [let%ext f] are definitions: the lexer folds the
+     attribute into one token and def_name skips it (and the extension
+     point) to the binding name. *)
+  let g =
+    Cg.build_sources
+      [
+        src ~lib:"alib" "alib/att.ml"
+          "let[@inline] double x = x * 2\n\n\
+           let[@warning \"-32\"] rec count n = if n = 0 then 0 else count (n - 1)\n\n\
+           let use x = double (count x)\n";
+      ]
+  in
+  let id n = (Option.get (Cg.find_def g ~module_:"Att" ~name:n)).Cg.d_id in
+  Alcotest.(check (list int))
+    "use calls both attributed defs"
+    (List.sort Int.compare [ id "double"; id "count" ])
+    (List.sort Int.compare (List.filter (fun i -> i <> id "use") g.Cg.callees.(id "use")))
+
 let test_budget_ratchet () =
   let warn rule = F.v ~severity:F.Warn ~rule ~where:"x:1" "w" in
   let findings = [ warn "dead-function"; warn "dead-function"; warn "undocumented-raise" ] in
@@ -570,6 +602,199 @@ let test_budget_ratchet () =
     (List.map (fun f -> f.F.rule) over);
   Alcotest.(check bool) "budget violations are errors" true
     (List.for_all (fun f -> f.F.severity = F.Error) over)
+
+(* ------------------------------- share ------------------------------- *)
+
+module Sh = Check.Share
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Two libraries with known shared state: an unguarded counter (written by
+   [bump], read by [peek]), an unguarded PRNG stream drawn by [draw] and
+   [roll], and a pure function. *)
+let share_fixture () =
+  Cg.build_sources
+    [
+      src ~lib:"slib" "slib/store.ml"
+        "let count = ref 0\n\nlet bump () = incr count\n\nlet tick () = bump ()\n\n\
+         let peek () = !count\n\nlet pure x = x + 1\n";
+      src ~lib:"slib" "slib/draw.ml"
+        "let stream = Eutil.Prng.create 7\n\nlet draw () = Eutil.Prng.float stream 1.0\n\n\
+         let roll () = draw ()\n";
+      src ~entry:true ~lib:"main" "bin/smain.ml"
+        "let () =\n  Store.tick ();\n  ignore (Store.peek ());\n  ignore (Draw.roll ());\n\
+        \  ignore (Store.pure 1)\n";
+    ]
+
+let share_root a name =
+  match Array.to_list (Sh.roots a) |> List.find_opt (fun r -> r.Sh.r_name = name) with
+  | Some r -> r
+  | None -> Alcotest.failf "root %s not harvested" name
+
+let test_share_roots () =
+  let a = Sh.audit (share_fixture ()) in
+  let count = share_root a "Store.count" in
+  Alcotest.(check bool) "counter is mutable" true (count.Sh.r_kind = Sh.Mutable);
+  Alcotest.(check bool) "counter unguarded" false count.Sh.r_guarded;
+  Alcotest.(check string) "counter located" "slib/store.ml" count.Sh.r_file;
+  Alcotest.(check int) "counter line" 1 count.Sh.r_line;
+  let stream = share_root a "Draw.stream" in
+  Alcotest.(check bool) "stream is a PRNG root" true (stream.Sh.r_kind = Sh.Prng);
+  let random = share_root a "Stdlib.Random" in
+  Alcotest.(check bool) "ambient Random is builtin" true (random.Sh.r_def = -1);
+  (* Functions never become roots, only value bindings do. *)
+  Alcotest.(check int) "exactly three roots" 3 (Array.length (Sh.roots a))
+
+let test_share_classify () =
+  let g = share_fixture () in
+  let a = Sh.audit g in
+  let id m n = (Option.get (Cg.find_def g ~module_:m ~name:n)).Cg.d_id in
+  Alcotest.(check bool) "bump writes" true (Sh.classify a (id "Store" "bump") = Sh.Writer);
+  Alcotest.(check bool) "tick writes transitively" true
+    (Sh.classify a (id "Store" "tick") = Sh.Writer);
+  Alcotest.(check bool) "peek only reads" true (Sh.classify a (id "Store" "peek") = Sh.Reader);
+  Alcotest.(check bool) "pure is domain-safe" true
+    (Sh.classify a (id "Store" "pure") = Sh.Domain_safe);
+  Alcotest.(check bool) "draw writes its stream" true
+    (Sh.classify a (id "Draw" "draw") = Sh.Writer);
+  Alcotest.(check bool) "the entry point writes everything" true
+    (Sh.classify a (id "Smain" "()") = Sh.Writer);
+  (* The counter's own initialiser is neither a read nor a write. *)
+  Alcotest.(check bool) "the binding itself is safe" true
+    (Sh.classify a (id "Store" "count") = Sh.Domain_safe);
+  let count = (share_root a "Store.count").Sh.r_id in
+  let stream = (share_root a "Draw.stream").Sh.r_id in
+  Alcotest.(check (list int)) "bump's write set" [ count ] (Sh.writes a (id "Store" "bump"));
+  Alcotest.(check (list int)) "peek's read set" [ count ] (Sh.reads a (id "Store" "peek"));
+  Alcotest.(check bool) "entry reaches both roots" true
+    (let ws = Sh.writes a (id "Smain" "()") in
+     List.mem count ws && List.mem stream ws)
+
+let share_findings ?manifest sources rule =
+  List.filter (fun f -> f.F.rule = rule) (Sh.analyze ?manifest (Cg.build_sources sources))
+  |> List.map (fun f -> f.F.message)
+
+let test_share_unguarded_global () =
+  let msgs =
+    share_findings
+      [
+        src ~lib:"slib" "slib/store.ml" "let count = ref 0\n\nlet bump () = incr count\n";
+      ]
+      "unguarded-global"
+  in
+  Alcotest.(check int) "written unguarded root warns" 1 (List.length msgs);
+  Alcotest.(check bool) "message names the root" true
+    (List.exists
+       (fun m ->
+         String.length m > 0
+         && String.length (String.concat "" [ m ]) > 0
+         && contains_sub m "Store.count")
+       msgs)
+
+let test_share_guarded_silent () =
+  (* Same counter, but the owning file shows a Mutex discipline: guarded,
+     so neither unguarded-global nor shared-write-reachable fires. *)
+  let sources =
+    [
+      src ~lib:"slib" "slib/store.ml"
+        "let lock = Mutex.create ()\n\nlet count = ref 0\n\n\
+         let bump () = Mutex.lock lock;\n  incr count;\n  Mutex.unlock lock\n";
+    ]
+  in
+  Alcotest.(check (list string)) "guarded root stays silent" []
+    (share_findings sources "unguarded-global");
+  Alcotest.(check (list string)) "guarded root certifiable" []
+    (share_findings ~manifest:[ ("w", [ "Store.bump" ]) ] sources "shared-write-reachable")
+
+let test_share_readonly_silent () =
+  (* Allocated but never mutated: shared read-only data, not a hazard. *)
+  let sources =
+    [
+      src ~lib:"slib" "slib/table.ml"
+        "let table = Hashtbl.create 16\n\nlet get k = Hashtbl.find_opt table k\n";
+    ]
+  in
+  Alcotest.(check (list string)) "unwritten root stays silent" []
+    (share_findings sources "unguarded-global")
+
+let test_share_write_reachable () =
+  let sources =
+    [
+      src ~lib:"slib" "slib/store.ml"
+        "let count = ref 0\n\nlet bump () = incr count\n\nlet tick () = bump ()\n";
+    ]
+  in
+  let msgs =
+    share_findings ~manifest:[ ("workers", [ "Store.tick" ]) ] sources "shared-write-reachable"
+  in
+  Alcotest.(check int) "one certified entrypoint, one root" 1 (List.length msgs);
+  Alcotest.(check bool) "witness chain reaches the writer" true
+    (contains_sub (List.hd msgs) "Store.tick -> Store.bump")
+
+let test_share_prng_rules () =
+  let sources =
+    [
+      src ~lib:"slib" "slib/draw.ml"
+        "let stream = Eutil.Prng.create 7\n\nlet draw () = Eutil.Prng.float stream 1.0\n\n\
+         let roll () = draw ()\n";
+    ]
+  in
+  (* One entrypoint drawing from the stream: a race (it is unguarded) but
+     not a sharing violation. *)
+  Alcotest.(check (list string)) "single user: no prng-shared" []
+    (share_findings ~manifest:[ ("w", [ "Draw.draw" ]) ] sources "prng-shared");
+  let msgs =
+    share_findings
+      ~manifest:[ ("w", [ "Draw.draw"; "Draw.roll" ]) ]
+      sources "prng-shared"
+  in
+  Alcotest.(check int) "two users: prng-shared fires" 1 (List.length msgs);
+  Alcotest.(check bool) "both entrypoints named" true
+    (contains_sub (List.hd msgs) "Draw.draw"
+    && contains_sub (List.hd msgs) "Draw.roll")
+
+let test_share_ambient_random () =
+  (* The ambient Stdlib.Random state is a builtin unguarded PRNG root. *)
+  let sources =
+    [ src ~lib:"slib" "slib/jit.ml" "let jitter () = Random.float 1.0\n" ]
+  in
+  let msgs =
+    share_findings ~manifest:[ ("w", [ "Jit.jitter" ]) ] sources "shared-write-reachable"
+  in
+  Alcotest.(check int) "Random use under an entrypoint is an error" 1 (List.length msgs);
+  Alcotest.(check bool) "names the ambient root" true
+    (contains_sub (List.hd msgs) "Stdlib.Random")
+
+let test_share_manifest_errors () =
+  let sources = [ src ~lib:"slib" "slib/a.ml" "let f x = x + 1\n" ] in
+  let msgs =
+    share_findings ~manifest:[ ("w", [ "Nope.nothing" ]) ] sources "parallel-manifest"
+  in
+  Alcotest.(check int) "unresolvable entrypoint is an error" 1 (List.length msgs);
+  let all = Sh.analyze ~manifest:[ ("w", [ "Nope.nothing" ]) ] (Cg.build_sources sources) in
+  Alcotest.(check bool) "and it is Error severity" true
+    (List.for_all (fun f -> f.F.severity = F.Error)
+       (List.filter (fun f -> f.F.rule = "parallel-manifest") all))
+
+let test_share_manifest_parse () =
+  Alcotest.(check (list (pair string (list string))))
+    "parses regions"
+    [ ("chaos", [ "Harness.run_trial" ]); ("pairs", [ "Failover.pair_path"; "X.y" ]) ]
+    (Sh.parse_manifest
+       "{\n  \"chaos\": [\"Harness.run_trial\"],\n  \"pairs\": [\"Failover.pair_path\", \"X.y\"]\n}\n");
+  Alcotest.(check (list (pair string (list string)))) "empty object" [] (Sh.parse_manifest "{}");
+  Alcotest.check_raises "malformed" (Invalid_argument "Share.parse_manifest: expected '{'")
+    (fun () -> ignore (Sh.parse_manifest "[]"))
+
+let test_share_rules_catalogue () =
+  let ids = List.map fst Sh.rules in
+  Alcotest.(check (list string))
+    "all four rules listed"
+    [ "shared-write-reachable"; "unguarded-global"; "prng-shared"; "parallel-manifest" ]
+    ids
 
 let () =
   Alcotest.run "check"
@@ -588,6 +813,7 @@ let () =
           Alcotest.test_case "lexer string edges" `Quick test_lexer_string_edges;
           Alcotest.test_case "lexer char literals" `Quick test_lexer_char_literals;
           Alcotest.test_case "lexer numbers and ops" `Quick test_lexer_numbers_and_ops;
+          Alcotest.test_case "lexer attributes" `Quick test_lexer_attributes;
         ] );
       ( "flow",
         [
@@ -621,6 +847,7 @@ let () =
           Alcotest.test_case "edges and witness" `Quick test_cg_edges;
           Alcotest.test_case "submodule and alias" `Quick test_cg_submodule_and_alias;
           Alcotest.test_case "@raise doc harvest" `Quick test_cg_raise_doc;
+          Alcotest.test_case "attributed defs" `Quick test_cg_attributed_defs;
         ] );
       ( "effect",
         [
@@ -636,5 +863,19 @@ let () =
         [
           Alcotest.test_case "parse" `Quick test_budget_parse;
           Alcotest.test_case "ratchet" `Quick test_budget_ratchet;
+        ] );
+      ( "share",
+        [
+          Alcotest.test_case "roots" `Quick test_share_roots;
+          Alcotest.test_case "classify" `Quick test_share_classify;
+          Alcotest.test_case "unguarded-global" `Quick test_share_unguarded_global;
+          Alcotest.test_case "guarded silent" `Quick test_share_guarded_silent;
+          Alcotest.test_case "read-only silent" `Quick test_share_readonly_silent;
+          Alcotest.test_case "shared-write-reachable" `Quick test_share_write_reachable;
+          Alcotest.test_case "prng-shared" `Quick test_share_prng_rules;
+          Alcotest.test_case "ambient Random" `Quick test_share_ambient_random;
+          Alcotest.test_case "manifest errors" `Quick test_share_manifest_errors;
+          Alcotest.test_case "manifest parse" `Quick test_share_manifest_parse;
+          Alcotest.test_case "rules catalogue" `Quick test_share_rules_catalogue;
         ] );
     ]

@@ -112,7 +112,7 @@ let test_random_srlgs () =
 
 (* ------------------------------ harness ------------------------------ *)
 
-let run_harness ?(spec_of = fun s -> s) ~trials seed =
+let run_harness ?(spec_of = fun s -> s) ?(jobs = 1) ~trials seed =
   let ex, tables, base = fig3 () in
   let spec =
     spec_of
@@ -123,7 +123,7 @@ let run_harness ?(spec_of = fun s -> s) ~trials seed =
         link_faults = Some { Scenario.mtbf = 2.0; mttr = 0.4 };
       }
   in
-  Harness.run ~config:fast_config ~tables ~power:(power_of ex) ~base ~spec ~trials ()
+  Harness.run ~config:fast_config ~jobs ~tables ~power:(power_of ex) ~base ~spec ~trials ()
 
 let test_harness_deterministic_json () =
   let j1 = Harness.to_json (run_harness ~trials:2 3) in
@@ -134,6 +134,20 @@ let test_harness_deterministic_json () =
   match Obs.Export.validate_json j1 with
   | Ok () -> ()
   | Error e -> Alcotest.failf "chaos JSON invalid: %s" e
+
+(* The certified fan-out: trial k lands at index k whichever domain ran
+   it, so the report must be byte-identical for any job count. *)
+let test_harness_jobs_identical () =
+  let j1 = Harness.to_json (run_harness ~jobs:1 ~trials:4 5) in
+  let j4 = Harness.to_json (run_harness ~jobs:4 ~trials:4 5) in
+  Alcotest.(check string) "jobs 1 and jobs 4 byte-identical" j1 j4
+
+let prop_harness_jobs_identical =
+  QCheck.Test.make ~name:"equal-seed chaos reports are byte-identical across jobs" ~count:4
+    QCheck.(pair (int_bound 1000) (int_range 1 3))
+    (fun (seed, trials) ->
+      Harness.to_json (run_harness ~jobs:1 ~trials seed)
+      = Harness.to_json (run_harness ~jobs:4 ~trials seed))
 
 (* The summary JSON must depend only on the demand set, not on the order
    flows were inserted into the matrix — the hash-backed sparse
@@ -255,8 +269,10 @@ let () =
       ( "harness",
         [
           Alcotest.test_case "deterministic JSON" `Quick test_harness_deterministic_json;
+          Alcotest.test_case "jobs byte-identical" `Quick test_harness_jobs_identical;
           Alcotest.test_case "insertion-order independent" `Quick
             test_harness_insertion_order_independent;
+          QCheck_alcotest.to_alcotest prop_harness_jobs_identical;
           Alcotest.test_case "aggregates" `Quick test_harness_aggregates;
           Alcotest.test_case "node failure accounts loss" `Quick test_node_failure_scenario_accounts_loss;
           QCheck_alcotest.to_alcotest prop_conservation;

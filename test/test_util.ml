@@ -175,6 +175,46 @@ let prop_percentile_bounds =
       let lo = Array.fold_left min infinity a and hi = Array.fold_left max neg_infinity a in
       v >= lo -. 1e-9 && v <= hi +. 1e-9)
 
+(* ------------------------------- pool -------------------------------- *)
+
+module Pool = Eutil.Pool
+
+let test_pool_map_order () =
+  (* Results land at the input index whichever domain computes them. *)
+  let a = Array.init 100 Fun.id in
+  Alcotest.(check (array int)) "jobs 1"
+    (Array.map (fun x -> x * x) a)
+    (Pool.map_array ~jobs:1 (fun x -> x * x) a);
+  Alcotest.(check (array int)) "jobs 4"
+    (Array.map (fun x -> x * x) a)
+    (Pool.map_array ~jobs:4 (fun x -> x * x) a);
+  Alcotest.(check (array int)) "more jobs than items"
+    [| 0; 2; 4 |]
+    (Pool.map_array ~jobs:16 (fun x -> 2 * x) (Array.init 3 Fun.id))
+
+let test_pool_init () =
+  Alcotest.(check (array int)) "init matches Array.init"
+    (Array.init 37 (fun i -> 3 * i))
+    (Pool.init ~jobs:4 37 (fun i -> 3 * i));
+  Alcotest.(check (array int)) "empty" [||] (Pool.init ~jobs:4 0 (fun i -> i))
+
+let test_pool_exceptions () =
+  (* The first worker exception is re-raised with its identity intact. *)
+  Alcotest.check_raises "invalid_arg propagates" (Invalid_argument "boom") (fun () ->
+      ignore (Pool.init ~jobs:4 16 (fun i -> if i = 11 then invalid_arg "boom" else i)));
+  Alcotest.check_raises "sequential path too" (Invalid_argument "boom") (fun () ->
+      ignore (Pool.init ~jobs:1 16 (fun i -> if i = 11 then invalid_arg "boom" else i)))
+
+let test_pool_default_jobs () =
+  Alcotest.(check bool) "at least one domain" true (Pool.default_jobs () >= 1)
+
+let prop_pool_matches_sequential =
+  QCheck.Test.make ~name:"pool map matches sequential map for any jobs" ~count:50
+    QCheck.(pair (int_range 1 8) (list small_int))
+    (fun (jobs, xs) ->
+      let a = Array.of_list xs in
+      Pool.map_array ~jobs (fun x -> x + 1) a = Array.map (fun x -> x + 1) a)
+
 let () =
   Alcotest.run "util"
     [
@@ -208,5 +248,13 @@ let () =
           Alcotest.test_case "boxplot" `Quick test_boxplot;
           Alcotest.test_case "ccdf" `Quick test_ccdf;
           QCheck_alcotest.to_alcotest prop_percentile_bounds;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map order" `Quick test_pool_map_order;
+          Alcotest.test_case "init" `Quick test_pool_init;
+          Alcotest.test_case "exceptions" `Quick test_pool_exceptions;
+          Alcotest.test_case "default jobs" `Quick test_pool_default_jobs;
+          QCheck_alcotest.to_alcotest prop_pool_matches_sequential;
         ] );
     ]
