@@ -32,6 +32,7 @@ let sections : (string * (unit -> unit)) list =
     ("eate", Extensions.eate);
     ("chaos", Extensions.chaos);
     ("parallel", Extensions.parallel);
+    ("cost", Extensions.cost);
     ("micro", Micro.run);
   ]
 
@@ -59,10 +60,25 @@ let emit_json path timings total_s =
                     (Obs.Export.json_escape workload) jobs dur)
                 ts))
   in
+  (* Before/after wall-clocks from the Check.Cost campaign ("cost"
+     section): uncached vs memoized precompute and cold vs warm-started
+     LP re-solves. *)
+  let cost_json =
+    match !Extensions.cost_timings with
+    | [] -> ""
+    | ts ->
+        Printf.sprintf ",\"cost\":[%s]"
+          (String.concat ","
+             (List.map
+                (fun (workload, dur) ->
+                  Printf.sprintf "{\"workload\":\"%s\",\"seconds\":%.6f}"
+                    (Obs.Export.json_escape workload) dur)
+                ts))
+  in
   let doc =
-    Printf.sprintf "{\"sections\":[%s],\"total_seconds\":%.6f%s,\"obs\":%s}"
+    Printf.sprintf "{\"sections\":[%s],\"total_seconds\":%.6f%s%s,\"obs\":%s}"
       (String.concat "," (List.map section_json timings))
-      total_s parallel_json
+      total_s parallel_json cost_json
       (String.trim (Obs.Export.to_json samples))
   in
   (match Obs.Export.validate_json doc with

@@ -142,7 +142,7 @@ let tables_cmd =
         let power = power_of t g in
         let pairs = pairs_of g ~seed ~fraction in
         let config = { Response.Framework.default with latency_beta = beta } in
-        let tables = Response.Framework.precompute ~config ~jobs g power ~pairs in
+        let tables = Response.Framework.precompute_cached ~config ~jobs g power ~pairs in
         Format.printf "%a@." Response.Tables.pp tables;
         let ao = Response.Tables.always_on_state tables in
         Format.printf "always-on footprint: %a (%.1f%% of full power)@." (Topo.State.pp g) ao
@@ -177,7 +177,7 @@ let power_cmd =
         obs_enable_for metrics;
         let power = power_of t g in
         let pairs = pairs_of g ~seed ~fraction in
-        let tables = Response.Framework.precompute g power ~pairs in
+        let tables = Response.Framework.precompute_cached g power ~pairs in
         let tm = Traffic.Gravity.make g ~pairs ~total:(Eutil.Units.gbps load) () in
         let e = Response.Framework.evaluate tables power tm in
         Format.printf "offered load:     %.2f Gbit/s@." load;
@@ -273,6 +273,43 @@ let lint_cmd =
   let doc = "Lint the OCaml sources for banned patterns (Check.Srclint)." in
   Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ dirs_arg $ json_arg $ rules_arg)
 
+(* -------------------------------- doc ------------------------------- *)
+
+(* The container carries no odoc, so `dune build @doc` cannot render the
+   API documentation; this stand-in validates the structure odoc would
+   reject — most importantly the @raise contracts the effect analysis
+   audits (DESIGN.md Â§10). *)
+let doc_cmd =
+  let dirs_arg =
+    let doc = "Files or directories whose doc comments to validate (default: lib bin)." in
+    Arg.(value & pos_all string [ "lib"; "bin" ] & info [] ~docv:"PATH" ~doc)
+  in
+  let rules_arg = Arg.(value & flag & info [ "rules" ] ~doc:"List the doc rules and exit.") in
+  let run dirs json list_rules =
+    if list_rules then begin
+      List.iter (fun (id, doc) -> Format.printf "%-18s %s@." id doc) Check.Doc.rules;
+      0
+    end
+    else begin
+      match List.filter (fun p -> not (Sys.file_exists p)) dirs with
+      | p :: _ ->
+          Format.eprintf "doc: no such path %s@." p;
+          2
+      | [] -> (
+          let findings = Check.Doc.check_paths dirs in
+          report_findings ~json findings;
+          match findings with
+          | [] ->
+              if not json then Format.printf "doc: clean@.";
+              0
+          | fs ->
+              if not json then Format.printf "doc: %d finding(s)@." (List.length fs);
+              1)
+    end
+  in
+  let doc = "Validate doc-comment structure (@raise tags) without odoc (Check.Doc)." in
+  Cmd.v (Cmd.info "doc" ~doc) Term.(const run $ dirs_arg $ json_arg $ rules_arg)
+
 (* ------------------------------ analyze ----------------------------- *)
 
 let analyze_cmd =
@@ -298,6 +335,15 @@ let analyze_cmd =
     Arg.(value & opt (some string) None & info [ "budget" ] ~docv:"FILE" ~doc)
   in
   let rules_arg = Arg.(value & flag & info [ "rules" ] ~doc:"List the analysis rules and exit.") in
+  let list_rules_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "list-rules" ]
+          ~doc:
+            "List every analyze rule (lint/flow/effect/share/cost) with its pass, severity and \
+             ratchet source, then exit.")
+  in
   let parallel_arg =
     let doc =
       "Parallel-region manifest (JSON object mapping region name to an array of entrypoint \
@@ -306,20 +352,62 @@ let analyze_cmd =
     in
     Arg.(value & opt (some string) None & info [ "parallel" ] ~docv:"FILE" ~doc)
   in
-  let run dirs entries budget parallel json list_rules =
-    if list_rules then begin
+  let cost_arg =
+    let doc =
+      "Cost manifest (JSON object with \"hot\" and \"memo\" entrypoint arrays); enables the \
+       loop-cost and allocation rules (Check.Cost): quadratic-list-op, rebuild-in-loop, \
+       alloc-in-hot-loop and memo-unsafe."
+    in
+    Arg.(value & opt (some string) None & info [ "cost" ] ~docv:"FILE" ~doc)
+  in
+  let rule_severity rule =
+    match rule with
+    | "undocumented-raise" | "dead-function" | "unguarded-global" | "alloc-in-hot-loop" -> "warn"
+    | _ -> "error"
+  in
+  let rule_ratchet pass rule =
+    match rule with
+    | "undocumented-raise" | "dead-function" | "unguarded-global" | "alloc-in-hot-loop" ->
+        "check/budget.json"
+    | "shared-write-reachable" | "prng-shared" | "parallel-manifest" -> "check/parallel.json"
+    | "quadratic-list-op" | "rebuild-in-loop" | "memo-unsafe" | "cost-manifest" ->
+        "check/cost.json"
+    | "budget-exceeded" -> "check/budget.json"
+    | _ -> if pass = "lint" then "lint: allow pragma" else "-"
+  in
+  let run dirs entries budget parallel cost json list_rules full_list =
+    if full_list then begin
+      Format.printf "%-6s %-24s %-6s %-20s %s@." "PASS" "RULE" "SEV" "RATCHET" "DESCRIPTION";
+      List.iter
+        (fun (pass, rules) ->
+          List.iter
+            (fun (id, doc) ->
+              Format.printf "%-6s %-24s %-6s %-20s %s@." pass id (rule_severity id)
+                (rule_ratchet pass id) doc)
+            rules)
+        [
+          ("lint", Check.Srclint.rules);
+          ("flow", Check.Flow.rules);
+          ("effect", Check.Effect.rules);
+          ("share", Check.Share.rules);
+          ("cost", Check.Cost.rules);
+        ];
+      0
+    end
+    else if list_rules then begin
       List.iter
         (fun (id, doc) -> Format.printf "%-22s %s@." id doc)
-        (Check.Flow.rules @ Check.Effect.rules @ Check.Share.rules);
+        (Check.Flow.rules @ Check.Effect.rules @ Check.Share.rules @ Check.Cost.rules);
       0
     end
     else begin
       let budget_paths = match budget with Some b -> [ b ] | None -> [] in
       let parallel_paths = match parallel with Some p -> [ p ] | None -> [] in
+      let cost_paths = match cost with Some c -> [ c ] | None -> [] in
       match
         List.filter
           (fun p -> not (Sys.file_exists p))
-          (dirs @ entries @ budget_paths @ parallel_paths)
+          (dirs @ entries @ budget_paths @ parallel_paths @ cost_paths)
       with
       | p :: _ ->
           Format.eprintf "analyze: no such path %s@." p;
@@ -339,41 +427,71 @@ let analyze_cmd =
                 try Ok (Check.Share.parse_manifest (Check.Srclint.read_file file))
                 with Invalid_argument msg -> Error msg)
           in
-          match (allowed, manifest) with
-          | Error msg, _ | _, Error msg ->
+          let cost_manifest =
+            match cost with
+            | None -> Ok None
+            | Some file -> (
+                try Ok (Some (Check.Share.parse_manifest (Check.Srclint.read_file file)))
+                with Invalid_argument msg -> Error msg)
+          in
+          match (allowed, manifest, cost_manifest) with
+          | Error msg, _, _ | _, Error msg, _ | _, _, Error msg ->
               Format.eprintf "analyze: %s@." msg;
               2
-          | Ok allowed, Ok manifest -> (
+          | Ok allowed, Ok manifest, Ok cost_manifest -> (
               let flow = Check.Flow.analyze_paths dirs in
               let graph = Check.Callgraph.build ~entries dirs in
               let effect = Check.Effect.analyze graph in
               let share = Check.Share.analyze ~manifest graph in
+              let cost =
+                match cost_manifest with
+                | None -> []
+                | Some m -> Check.Cost.analyze ~manifest:m graph
+              in
               let ratchet =
                 match allowed with
                 | None -> []
-                | Some budget -> Check.Effect.over_budget ~budget (effect @ share)
+                | Some budget -> Check.Effect.over_budget ~budget (effect @ share @ cost)
               in
-              let findings = flow @ effect @ share @ ratchet in
-              report_findings ~json findings;
-              match findings with
-              | [] ->
-                  if not json then Format.printf "analyze: clean@.";
-                  0
-              | fs ->
-                  if not json then
+              let findings = flow @ effect @ share @ cost @ ratchet in
+              if json then begin
+                let passes =
+                  [ ("flow", flow); ("effect", effect); ("share", share) ]
+                  @ (match cost_manifest with None -> [] | Some _ -> [ ("cost", cost) ])
+                  @ [ ("ratchet", ratchet) ]
+                in
+                let doc = Check.Finding.to_json_document passes in
+                match Obs.Export.validate_json doc with
+                | Error e ->
+                    Format.eprintf "analyze: JSON report failed validation: %s@." e;
+                    2
+                | Ok () ->
+                    print_string doc;
+                    if Check.Finding.errors findings = [] then 0 else 1
+              end
+              else
+                match findings with
+                | [] ->
+                    Format.printf "analyze: clean@.";
+                    0
+                | fs ->
+                    report_findings ~json:false fs;
                     Format.printf "analyze: %d finding(s), %d error(s)@." (List.length fs)
                       (List.length (Check.Finding.errors fs));
-                  if Check.Finding.errors fs = [] then 0 else 1))
+                    if Check.Finding.errors fs = [] then 0 else 1))
     end
   in
   let doc =
     "Static analysis of the OCaml sources: numeric-safety dataflow (Check.Flow), \
-     interprocedural effect inference over the call graph (Check.Callgraph, Check.Effect) and \
-     the domain-safety shared-mutable-state audit (Check.Share)."
+     interprocedural effect inference over the call graph (Check.Callgraph, Check.Effect), the \
+     domain-safety shared-mutable-state audit (Check.Share) and the loop-cost and allocation \
+     analysis (Check.Cost)."
   in
   Cmd.v
     (Cmd.info "analyze" ~doc)
-    Term.(const run $ dirs_arg $ entries_arg $ budget_arg $ parallel_arg $ json_arg $ rules_arg)
+    Term.(
+      const run $ dirs_arg $ entries_arg $ budget_arg $ parallel_arg $ cost_arg $ json_arg
+      $ rules_arg $ list_rules_arg)
 
 (* ------------------------------- check ------------------------------ *)
 
@@ -433,7 +551,7 @@ let check_cmd =
 let stats_workload t g ~seed ~fraction =
   let power = power_of t g in
   let pairs = pairs_of g ~seed ~fraction in
-  let tables = Response.Framework.precompute g power ~pairs in
+  let tables = Response.Framework.precompute_cached g power ~pairs in
   let tm = Traffic.Gravity.make g ~pairs ~total:(Eutil.Units.gbps 5.0) () in
   let _ = Response.Framework.evaluate tables power tm in
   (* The exact formulation is only tractable for small instances (see
@@ -595,7 +713,7 @@ let chaos_cmd =
     with_topology name (fun t g ->
         let power = power_of t g in
         let pairs = pairs_of g ~seed ~fraction in
-        let tables = Response.Framework.precompute g power ~pairs in
+        let tables = Response.Framework.precompute_cached g power ~pairs in
         let base = Traffic.Gravity.make g ~pairs ~total:(Eutil.Units.gbps load) () in
         let spec =
           {
@@ -702,5 +820,5 @@ let () =
        (Cmd.group info
           [
             topo_cmd; tables_cmd; power_cmd; replay_cmd; chaos_cmd; stats_cmd; export_cmd;
-            lint_cmd; analyze_cmd; check_cmd;
+            lint_cmd; analyze_cmd; check_cmd; doc_cmd;
           ]))

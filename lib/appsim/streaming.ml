@@ -74,7 +74,7 @@ let run ?(config = Netsim.Sim.default_config) ~tables ~power scenario =
         let n_blocks =
           max 0 (int_of_float ((scenario.duration -. c.join_time) /. scenario.block_duration) - 1)
         in
-        let arrival = Array.make n_blocks infinity in
+        let arrival = Array.init n_blocks (fun _ -> infinity) in
         let next_block = ref 0 in
         Array.iter
           (fun sm ->
@@ -99,14 +99,16 @@ let run ?(config = Netsim.Sim.default_config) ~tables ~power scenario =
             end)
           samples;
         let playable = ref 0 in
-        let latencies = ref [] in
+        let lat_sum = ref 0.0 and lat_n = ref 0 in
         let lat = path_latency c.node in
         for i = 0 to n_blocks - 1 do
           let sent = c.join_time +. (float_of_int i *. scenario.block_duration) in
           let deadline = sent +. scenario.startup_buffer in
           if arrival.(i) +. lat <= deadline then incr playable;
-          if arrival.(i) < infinity then
-            latencies := (arrival.(i) +. lat -. sent) :: !latencies
+          if arrival.(i) < infinity then begin
+            lat_sum := !lat_sum +. (arrival.(i) +. lat -. sent);
+            incr lat_n
+          end
         done;
         {
           node = c.node;
@@ -114,7 +116,7 @@ let run ?(config = Netsim.Sim.default_config) ~tables ~power scenario =
           playable_percent =
             (if n_blocks = 0 then 100.0
              else 100.0 *. float_of_int !playable /. float_of_int n_blocks);
-          mean_block_latency = Eutil.Stats.mean (Array.of_list !latencies);
+          mean_block_latency = (if !lat_n = 0 then 0.0 else !lat_sum /. float_of_int !lat_n);
         })
       scenario.clients
   in

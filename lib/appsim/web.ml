@@ -54,7 +54,16 @@ let run g ~path_of ~background_util ~clients cfg =
             if residual <= 0.0 then infinity
             else (2.0 *. rtt) +. cfg.server_time +. (size *. 8.0 /. residual))
   in
-  let finite = Array.of_list (List.filter (fun x -> x < infinity) (Array.to_list latencies)) in
+  let finite_n = Array.fold_left (fun acc x -> if x < infinity then acc + 1 else acc) 0 latencies in
+  let finite = Array.make finite_n 0.0 in
+  let j = ref 0 in
+  Array.iter
+    (fun x ->
+      if x < infinity then begin
+        finite.(!j) <- x;
+        incr j
+      end)
+    latencies;
   {
     mean_latency = Eutil.Stats.mean finite;
     p95_latency = Eutil.Stats.percentile finite 95.0;

@@ -35,7 +35,13 @@ type file = {
   f_toks : S.tok array;
 }
 
-type t = { defs : def array; callees : int list array; vals : vdecl list; files : file list }
+type t = {
+  defs : def array;
+  callees : int list array;
+  sites : (int * int) list array;
+  vals : vdecl list;
+  files : file list;
+}
 
 (* ------------------------------------------------------------------ *)
 (* Small string helpers                                               *)
@@ -64,10 +70,15 @@ let module_of_file file =
 (* Definition extraction from one .ml file                            *)
 (* ------------------------------------------------------------------ *)
 
-(* Column-1 tokens that end the previous definition's body. *)
+(* Column-1 tokens that end the previous definition's body; a table because
+   the membership test runs once per token of every scanned file. *)
 let boundary_kw =
-  [ "let"; "and"; "type"; "module"; "open"; "exception"; "include"; "end"; "val"; "class";
-    "external" ]
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun kw -> Hashtbl.replace tbl kw ())
+    [ "let"; "and"; "type"; "module"; "open"; "exception"; "include"; "end"; "val"; "class";
+      "external" ];
+  tbl
 
 type mark = { m_idx : int; m_def : (string * string * int) option }
 (* m_def = Some (module_path, name, line) for a definition start. *)
@@ -148,17 +159,17 @@ let defs_of_ml ~library ~entry ~file text =
       | "end" ->
           submod := None;
           add_boundary i
-      | kw when List.mem kw boundary_kw -> add_boundary i
+      | kw when Hashtbl.mem boundary_kw kw -> add_boundary i
       | _ -> ());
-      if List.mem t boundary_kw then chain1 := t = "let" || (t = "and" && !chain1)
+      if Hashtbl.mem boundary_kw t then chain1 := t = "let" || (t = "and" && !chain1)
     end
     else if tcol = 3 then begin
       (match (!submod, t) with
       | Some m, "let" -> add_def i ~module_path:(file_module ^ "." ^ m)
       | Some m, "and" when !chain3 -> add_def i ~module_path:(file_module ^ "." ^ m)
-      | Some _, kw when List.mem kw boundary_kw -> add_boundary i
+      | Some _, kw when Hashtbl.mem boundary_kw kw -> add_boundary i
       | _ -> ());
-      if !submod <> None && List.mem t boundary_kw then
+      if !submod <> None && Hashtbl.mem boundary_kw t then
         chain3 := t = "let" || (t = "and" && !chain3)
     end
   done;
@@ -293,27 +304,40 @@ let build_sources sources =
       multi_add by_modkey (modkey d.d_module ^ "." ^ d.d_name) d.d_id;
       multi_add by_file (d.d_file ^ ":" ^ d.d_name) d.d_id)
     defs;
-  let aliases_of_file = Hashtbl.create 16 in
-  List.iter (fun (s, (_, al, _)) -> Hashtbl.replace aliases_of_file s.sc_file al) per_file;
+  (* One flat alias table, pre-split: "file:name" -> reversed components of
+     the alias target, so the splice below is a rev_append not an append. *)
+  let rev_alias = Hashtbl.create 64 in
+  List.iter
+    (fun (s, (_, al, _)) ->
+      Hashtbl.iter
+        (fun name target ->
+          if target <> name then
+            Hashtbl.replace rev_alias (s.sc_file ^ ":" ^ name) (List.rev (split_dots target)))
+        al)
+    per_file;
   let callees = Array.make (Array.length defs) [] in
+  let sites = Array.make (Array.length defs) [] in
+  let seen = Hashtbl.create 16 in
   Array.iter
     (fun d ->
-      let al =
-        match Hashtbl.find_opt aliases_of_file d.d_file with
-        | Some a -> a
-        | None -> Hashtbl.create 1
+      Hashtbl.reset seen;
+      let site = ref 0 in
+      let add id =
+        if id <> d.d_id then begin
+          sites.(d.d_id) <- (!site, id) :: sites.(d.d_id);
+          if not (Hashtbl.mem seen id) then Hashtbl.replace seen id ()
+        end
       in
-      let seen = Hashtbl.create 16 in
-      let add id = if id <> d.d_id && not (Hashtbl.mem seen id) then Hashtbl.replace seen id () in
-      Array.iter
-        (fun { S.t; _ } ->
+      Array.iteri
+        (fun tok_idx { S.t; _ } ->
+          site := tok_idx;
           if String.contains t '.' then begin
             match split_dots t with
             | first :: rest when is_upper first ->
                 let comps =
-                  match Hashtbl.find_opt al first with
-                  | Some target when target <> first -> split_dots target @ rest
-                  | _ -> first :: rest
+                  match Hashtbl.find_opt rev_alias (d.d_file ^ ":" ^ first) with
+                  | Some rev_target -> List.rev_append rev_target rest
+                  | None -> first :: rest
                 in
                 (* components: [...; hint; mk; name] *)
                 let rec split3 = function
@@ -336,7 +360,7 @@ let build_sources sources =
                               (fun i ->
                                 let c = defs.(i) in
                                 String.capitalize_ascii c.d_library = h
-                                || List.mem h (split_dots c.d_module))
+                                || List.exists (String.equal h) (split_dots c.d_module))
                               cands
                         in
                         List.iter add cands)
@@ -348,9 +372,10 @@ let build_sources sources =
             | Some cands -> List.iter add cands
             | None -> ())
         d.d_body;
-      callees.(d.d_id) <- List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) seen []))
+      callees.(d.d_id) <- List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) seen []);
+      sites.(d.d_id) <- List.rev sites.(d.d_id))
     defs;
-  { defs; callees; vals; files }
+  { defs; callees; sites; vals; files }
 
 (* ------------------------------------------------------------------ *)
 (* Directory walking and dune stanza sniffing                         *)
@@ -400,10 +425,13 @@ let rec gather inherited acc path =
           Some (name, entry)
       | None -> inherited
     in
-    Sys.readdir path |> Array.to_list |> List.sort String.compare
-    |> List.iter (fun e ->
-           if String.length e > 0 && e.[0] <> '.' && e.[0] <> '_' then
-             gather info acc (Filename.concat path e))
+    let names = Sys.readdir path in
+    Array.sort String.compare names;
+    Array.iter
+      (fun e ->
+        if String.length e > 0 && e.[0] <> '.' && e.[0] <> '_' then
+          gather info acc (Filename.concat path e))
+      names
   end
   else if Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli" then begin
     let lib, entry =

@@ -69,6 +69,11 @@ type file = {
 type t = {
   defs : def array;
   callees : int list array;  (** [callees.(i)] = defs that [defs.(i)] may call *)
+  sites : (int * int) list array;
+      (** [sites.(i)] = every resolved call site in [defs.(i).d_body] as
+          [(token index, callee id)] pairs in body order; the same callee
+          appears once per site. {!Cost} pairs the token index with its
+          lexical loop depth to weight the call. *)
   vals : vdecl list;
   files : file list;  (** token streams of the [.ml] inputs, in source order *)
 }

@@ -30,18 +30,26 @@ let equal_effects a b = leq a b && leq b a
 (* Base effects of one body                                           *)
 (* ------------------------------------------------------------------ *)
 
-let raise_prims = [ "failwith"; "invalid_arg"; "Stdlib.failwith"; "Stdlib.invalid_arg" ]
-let partial_prims = [ "List.hd"; "Option.get"; "Hashtbl.find" ]
-let clock_prims = [ "Random.self_init"; "Unix.gettimeofday"; "Sys.time" ]
-let hashtbl_orders = [ "Hashtbl.iter"; "Hashtbl.fold" ]
-let sorters = [ "List.sort"; "List.sort_uniq"; "List.stable_sort"; "Array.sort" ]
+(* Primitive classification tables: [base_of_body] consults them once per
+   token, so membership must be constant-time, not a list walk. *)
+let table names =
+  let tbl = Hashtbl.create (2 * List.length names) in
+  List.iter (fun nm -> Hashtbl.replace tbl nm ()) names;
+  tbl
+
+let raise_prims = table [ "failwith"; "invalid_arg"; "Stdlib.failwith"; "Stdlib.invalid_arg" ]
+let partial_prims = table [ "List.hd"; "Option.get"; "Hashtbl.find" ]
+let clock_prims = table [ "Random.self_init"; "Unix.gettimeofday"; "Sys.time" ]
+let hashtbl_orders = table [ "Hashtbl.iter"; "Hashtbl.fold" ]
+let sorters = table [ "List.sort"; "List.sort_uniq"; "List.stable_sort"; "Array.sort" ]
 
 let io_prims =
-  [ "print_string"; "print_endline"; "print_newline"; "print_int"; "print_float"; "print_char";
-    "prerr_string"; "prerr_endline"; "prerr_newline"; "Printf.printf"; "Printf.eprintf";
-    "Format.printf"; "Format.eprintf"; "Fmt.pr"; "Fmt.epr"; "open_in"; "open_out"; "open_in_bin";
-    "open_out_bin"; "input_line"; "output_string"; "output_char"; "read_line"; "Sys.readdir";
-    "Sys.command"; "Sys.remove"; "Sys.rename" ]
+  table
+    [ "print_string"; "print_endline"; "print_newline"; "print_int"; "print_float"; "print_char";
+      "prerr_string"; "prerr_endline"; "prerr_newline"; "Printf.printf"; "Printf.eprintf";
+      "Format.printf"; "Format.eprintf"; "Fmt.pr"; "Fmt.epr"; "open_in"; "open_out"; "open_in_bin";
+      "open_out_bin"; "input_line"; "output_string"; "output_char"; "read_line"; "Sys.readdir";
+      "Sys.command"; "Sys.remove"; "Sys.rename" ]
 
 let is_upper s = s <> "" && s.[0] >= 'A' && s.[0] <= 'Z'
 let is_number s = s <> "" && s.[0] >= '0' && s.[0] <= '9'
@@ -62,12 +70,12 @@ let base_of_body (body : S.tok array) =
   done;
   let last_sorter = ref (-1) in
   for i = n - 1 downto 0 do
-    if !last_sorter < 0 && List.mem body.(i).S.t sorters then last_sorter := i
+    if !last_sorter < 0 && Hashtbl.mem sorters body.(i).S.t then last_sorter := i
   done;
   let e = ref empty in
   for i = 0 to n - 1 do
     let t = body.(i).S.t in
-    if List.mem t raise_prims then e := { !e with raises = true }
+    if Hashtbl.mem raise_prims t then e := { !e with raises = true }
     else if t = "raise" || t = "Stdlib.raise" then begin
       (* Skip the wrapping paren / application operator to see the
          exception constructor: [raise (Bad x)], [raise @@ Bad x]. *)
@@ -80,19 +88,19 @@ let base_of_body (body : S.tok array) =
       let local_handled = is_upper exn && undotted exn && Hashtbl.mem handled exn in
       if not (local_exit || local_handled) then e := { !e with raises = true }
     end
-    else if List.mem t partial_prims then e := { !e with partial = Strings.add t !e.partial }
+    else if Hashtbl.mem partial_prims t then e := { !e with partial = Strings.add t !e.partial }
     else if t = "Array.get" then begin
       (* [Array.get a 0] is fine; a computed index is partial. *)
       let idx = tok_at (i + 2) in
       if not (is_number idx) then e := { !e with partial = Strings.add t !e.partial }
     end
-    else if List.mem t clock_prims then e := { !e with nondet = Strings.add t !e.nondet }
-    else if List.mem t hashtbl_orders then begin
+    else if Hashtbl.mem clock_prims t then e := { !e with nondet = Strings.add t !e.nondet }
+    else if Hashtbl.mem hashtbl_orders t then begin
       (* The fold-then-sort idiom is deterministic: a sorter later in the
          same body cancels the iteration-order effect. *)
       if !last_sorter < i then e := { !e with nondet = Strings.add t !e.nondet }
     end
-    else if List.mem t io_prims then e := { !e with io = true }
+    else if Hashtbl.mem io_prims t then e := { !e with io = true }
   done;
   !e
 
@@ -184,8 +192,8 @@ let analyze (g : Callgraph.t) =
       let i = d.Callgraph.d_id in
       let is_export =
         (not d.Callgraph.d_entry)
-        && (List.mem d.Callgraph.d_name export_names
-           || List.mem (last_component d.Callgraph.d_module) export_modules)
+        && (List.exists (String.equal d.Callgraph.d_name) export_names
+           || List.exists (String.equal (last_component d.Callgraph.d_module)) export_modules)
       in
       if is_export && not (Strings.is_empty eff.(i).nondet) then begin
         let via =
@@ -294,10 +302,12 @@ let over_budget ~budget findings =
         Hashtbl.replace counts f.Finding.rule (c + 1)
       end)
     findings;
+  let allowances = Hashtbl.create 8 in
+  List.iter (fun (rule, a) -> Hashtbl.replace allowances rule a) (List.rev budget);
   Hashtbl.fold (fun rule count acc -> (rule, count) :: acc) counts []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   |> List.filter_map (fun (rule, count) ->
-         let allowed = match List.assoc_opt rule budget with Some a -> a | None -> 0 in
+         let allowed = match Hashtbl.find_opt allowances rule with Some a -> a | None -> 0 in
          if count > allowed then
            Some
              (Finding.v ~rule:"budget-exceeded" ~where:"check/budget.json"

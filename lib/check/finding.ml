@@ -39,3 +39,15 @@ let to_json fs =
       (json_escape f.where) (json_escape f.message)
   in
   "[\n" ^ String.concat ",\n" (List.map obj fs) ^ "\n]\n"
+
+let to_json_document passes =
+  let pass (name, fs) =
+    Printf.sprintf "{\"pass\": \"%s\", \"findings\": %s}" (json_escape name)
+      (String.trim (to_json fs))
+  in
+  let all = List.concat_map snd passes in
+  let errs = List.length (errors all) in
+  Printf.sprintf "{\"passes\": [%s], \"errors\": %d, \"warnings\": %d}\n"
+    (String.concat ", " (List.map pass passes))
+    errs
+    (List.length all - errs)

@@ -29,3 +29,10 @@ val render : t list -> string
 val to_json : t list -> string
 (** Machine-readable report: a JSON array of objects with fields
     [rule], [severity], [where], and [message]. *)
+
+val to_json_document : (string * t list) list -> string
+(** One combined report for a multi-pass run: a JSON object with a
+    [passes] array (each element carrying the pass name and its
+    {!to_json} findings array) and top-level [errors]/[warnings]
+    counts, so [respctl analyze --json] emits a single document rather
+    than concatenated per-pass blobs. *)

@@ -59,8 +59,14 @@ let is_sci t =
      || not (t.[0] = '0' && (match Char.lowercase_ascii t.[1] with 'x' | 'o' | 'b' -> true | _ -> false)))
   && String.exists (fun c -> c = 'e' || c = 'E') t
 
-let comparison_ops = [ "="; "<>"; "<"; "<="; ">"; ">="; "=="; "!=" ]
-let arith_ops = [ "+."; "-."; "*."; "/."; "+"; "-"; "*"; "/"; "**" ]
+(* Operator classes consulted per token; tables keep the scan linear. *)
+let op_table ops =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun op -> Hashtbl.replace tbl op ()) ops;
+  tbl
+
+let comparison_ops = op_table [ "="; "<>"; "<"; "<="; ">"; ">="; "=="; "!=" ]
+let arith_ops = op_table [ "+."; "-."; "*."; "/."; "+"; "-"; "*"; "/"; "**" ]
 
 (* Magnitudes at or above a mega are link capacities, demand totals, power
    budgets — quantities that carry a unit. *)
@@ -105,7 +111,7 @@ let scan ~magic_exempt toks =
        definition. *)
     if (t = "let" || t = "and") && tk.S.tcol = 1 then Hashtbl.reset nonzero;
     (* --- fact generation -------------------------------------------- *)
-    (if List.mem t comparison_ops then
+    (if Hashtbl.mem comparison_ops t then
        if t = "=" && (text (i - 2) = "let" || text (i - 2) = "and") then begin
          let bind id =
            if i >= 2 && toks.(i - 2).S.tcol = 1 then Hashtbl.replace toplevel_nonzero id ()
@@ -114,7 +120,7 @@ let scan ~magic_exempt toks =
          (* let x = <lone nonzero literal> / let x = max <pos> ... *)
          (match number_value (text (i + 1)) with
          | Some v
-           when v <> 0.0 && plain_ident (text (i - 1)) && not (List.mem (text (i + 2)) arith_ops)
+           when v <> 0.0 && plain_ident (text (i - 1)) && not (Hashtbl.mem arith_ops (text (i + 2)))
            ->
              bind (text (i - 1))
          | _ -> ());
@@ -132,7 +138,7 @@ let scan ~magic_exempt toks =
          if plain_ident (text (i + 1)) && is_number (text (i - 1)) then fact (text (i + 1))
        end);
     (* --- nan-compare ------------------------------------------------- *)
-    (if List.mem t comparison_ops then begin
+    (if Hashtbl.mem comparison_ops t then begin
        let nan_operand j = last_component (text j) = "nan" in
        if nan_operand (i - 1) || nan_operand (i + 1) then
          add "nan-compare" tk

@@ -125,7 +125,11 @@ let check_tables g ~pairs entries =
         e.failover;
       (* Distinctness across the whole entry: installing the same path twice
          wastes a table slot and defeats the on-demand level machinery. *)
-      let all = (e.always_on :: e.on_demand) @ Option.to_list e.failover in
+      let all =
+        match e.failover with
+        | Some f -> f :: e.always_on :: e.on_demand
+        | None -> e.always_on :: e.on_demand
+      in
       let rec dup_scan = function
         | [] -> ()
         | p :: rest ->
@@ -140,11 +144,11 @@ let check_tables g ~pairs entries =
       | Some f when arcs_in_range g f && arcs_in_range g e.always_on ->
           if P.shares_link g f e.always_on then begin
             let ao = P.links g e.always_on in
-            let shared =
-              Array.to_list (P.links g f)
-              |> List.filter (fun l -> Array.exists (fun l' -> l = l') ao)
-              |> List.sort_uniq Int.compare
-            in
+            let shared = ref [] in
+            Array.iter
+              (fun l -> if Array.exists (fun l' -> l = l') ao then shared := l :: !shared)
+              (P.links g f);
+            let shared = List.sort_uniq Int.compare !shared in
             add ~severity:Finding.Warn "table-failover-overlap" where
               (Printf.sprintf "failover shares %d link(s) with the always-on path: %s"
                  (List.length shared)

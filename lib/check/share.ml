@@ -47,31 +47,38 @@ let kind_to_string = function
 (* Allocators of mutable storage. [Atomic.make] and [Mutex.create] are
    deliberately absent: state reachable only through them is its own
    discipline. *)
-let alloc_prims =
-  [ "Hashtbl.create"; "Hashtbl.copy"; "Array.make"; "Array.create_float"; "Array.init";
-    "Array.copy"; "Array.make_matrix"; "Bytes.create"; "Bytes.make"; "Bytes.of_string";
-    "Buffer.create"; "Queue.create"; "Stack.create" ]
+let prim_table names =
+  let tbl = Hashtbl.create (2 * List.length names) in
+  List.iter (fun nm -> Hashtbl.replace tbl nm ()) names;
+  tbl
 
-let prng_prims = [ "Eutil.Prng.create"; "Eutil.Prng.split"; "Prng.create"; "Prng.split" ]
+let alloc_prims =
+  prim_table
+    [ "Hashtbl.create"; "Hashtbl.copy"; "Array.make"; "Array.create_float"; "Array.init";
+      "Array.copy"; "Array.make_matrix"; "Bytes.create"; "Bytes.make"; "Bytes.of_string";
+      "Buffer.create"; "Queue.create"; "Stack.create" ]
+
+let prng_prims = prim_table [ "Eutil.Prng.create"; "Eutil.Prng.split"; "Prng.create"; "Prng.split" ]
 
 (* Mutating primitives whose next token is the mutated value. *)
 let mutator_prims =
-  [ "Hashtbl.replace"; "Hashtbl.add"; "Hashtbl.remove"; "Hashtbl.reset"; "Hashtbl.clear";
-    "Hashtbl.filter_map_inplace"; "Array.set"; "Array.fill"; "Array.blit"; "Array.sort";
-    "Array.fast_sort"; "Array.unsafe_set"; "Bytes.set"; "Bytes.fill"; "Bytes.blit";
-    "Bytes.unsafe_set"; "Buffer.add_string"; "Buffer.add_char"; "Buffer.add_bytes";
-    "Buffer.add_buffer"; "Buffer.add_substitute"; "Buffer.clear"; "Buffer.reset";
-    "Buffer.truncate"; "Queue.push"; "Queue.add"; "Queue.pop"; "Queue.take"; "Queue.clear";
-    "Queue.transfer"; "Stack.push"; "Stack.pop"; "Stack.clear"; "Lazy.force";
-    (* Obs instruments, under every qualification the repo uses. *)
-    "Obs.Metric.Counter.incr"; "Obs.Metric.Counter.add"; "Obs.Metric.Counter.add_int";
-    "Metric.Counter.incr"; "Metric.Counter.add"; "Metric.Counter.add_int"; "Counter.incr";
-    "Counter.add"; "Counter.add_int"; "Obs.Metric.Gauge.set"; "Obs.Metric.Gauge.set_int";
-    "Obs.Metric.Gauge.add"; "Metric.Gauge.set"; "Metric.Gauge.set_int"; "Metric.Gauge.add";
-    "Gauge.set"; "Gauge.set_int"; "Gauge.add"; "Obs.Metric.Histogram.observe";
-    "Obs.Metric.Histogram.time"; "Metric.Histogram.observe"; "Metric.Histogram.time";
-    "Histogram.observe"; "Histogram.time"; "Obs.Registry.reset"; "Registry.reset";
-    "Obs.Registry.register"; "Registry.register" ]
+  prim_table
+    [ "Hashtbl.replace"; "Hashtbl.add"; "Hashtbl.remove"; "Hashtbl.reset"; "Hashtbl.clear";
+      "Hashtbl.filter_map_inplace"; "Array.set"; "Array.fill"; "Array.blit"; "Array.sort";
+      "Array.fast_sort"; "Array.unsafe_set"; "Bytes.set"; "Bytes.fill"; "Bytes.blit";
+      "Bytes.unsafe_set"; "Buffer.add_string"; "Buffer.add_char"; "Buffer.add_bytes";
+      "Buffer.add_buffer"; "Buffer.add_substitute"; "Buffer.clear"; "Buffer.reset";
+      "Buffer.truncate"; "Queue.push"; "Queue.add"; "Queue.pop"; "Queue.take"; "Queue.clear";
+      "Queue.transfer"; "Stack.push"; "Stack.pop"; "Stack.clear"; "Lazy.force";
+      (* Obs instruments, under every qualification the repo uses. *)
+      "Obs.Metric.Counter.incr"; "Obs.Metric.Counter.add"; "Obs.Metric.Counter.add_int";
+      "Metric.Counter.incr"; "Metric.Counter.add"; "Metric.Counter.add_int"; "Counter.incr";
+      "Counter.add"; "Counter.add_int"; "Obs.Metric.Gauge.set"; "Obs.Metric.Gauge.set_int";
+      "Obs.Metric.Gauge.add"; "Metric.Gauge.set"; "Metric.Gauge.set_int"; "Metric.Gauge.add";
+      "Gauge.set"; "Gauge.set_int"; "Gauge.add"; "Obs.Metric.Histogram.observe";
+      "Obs.Metric.Histogram.time"; "Metric.Histogram.observe"; "Metric.Histogram.time";
+      "Histogram.observe"; "Histogram.time"; "Obs.Registry.reset"; "Registry.reset";
+      "Obs.Registry.register"; "Registry.register" ]
 
 (* A file whose tokens use any of these has an owning-module concurrency
    discipline; mutable state it allocates is considered guarded. *)
@@ -150,9 +157,9 @@ let base_alloc ~disciplined ~mut_fields (d : Callgraph.def) =
   let a = ref alloc_none in
   Array.iteri
     (fun i { S.t; _ } ->
-      if List.mem t alloc_prims || (t = "ref" && ref_applied body i) then
+      if Hashtbl.mem alloc_prims t || (t = "ref" && ref_applied body i) then
         a := alloc_union !a (if guarded then { alloc_none with ag = true } else { alloc_none with au = true })
-      else if List.mem t prng_prims then a := alloc_union !a { alloc_none with ap = true }
+      else if Hashtbl.mem prng_prims t then a := alloc_union !a { alloc_none with ap = true }
       else if t = "lazy" then a := alloc_union !a { alloc_none with al = true }
       else if
         is_lower t
@@ -160,7 +167,8 @@ let base_alloc ~disciplined ~mut_fields (d : Callgraph.def) =
         && Hashtbl.mem mut_fields (d.Callgraph.d_library, t)
         && i + 1 < Array.length body
         && body.(i + 1).S.t = "="
-        && (i = 0 || not (List.mem body.(i - 1).S.t [ "let"; "and"; "rec" ]))
+        && (i = 0
+           || not (match body.(i - 1).S.t with "let" | "and" | "rec" -> true | _ -> false))
       then
         (* Record literal initialising a mutable field. *)
         a := alloc_union !a (if guarded then { alloc_none with ag = true } else { alloc_none with au = true }))
@@ -331,7 +339,7 @@ let audit (g : Callgraph.t) =
                 (fun r ->
                   let rd = defs.(roots.(r).r_def) in
                   String.capitalize_ascii rd.Callgraph.d_library = hint
-                  || List.mem hint (split_dots rd.Callgraph.d_module))
+                  || List.exists (String.equal hint) (split_dots rd.Callgraph.d_module))
                 cands
           end
     end
@@ -367,7 +375,7 @@ let audit (g : Callgraph.t) =
             let write_ctx =
               next = ":=" || next = "<-"
               || prev = "incr" || prev = "decr" || prev = "Stdlib.incr" || prev = "Stdlib.decr"
-              || List.mem prev mutator_prims
+              || Hashtbl.mem mutator_prims prev
               || List.exists (fun p -> starts_with ~prefix:p prev) [ "Eutil.Prng."; "Prng." ]
               || index_assign i
             in

@@ -79,12 +79,14 @@ let clean source =
       end
     done
   in
+  (* One comment-text buffer for the whole pass, cleared per comment. *)
+  let buf = Buffer.create 256 in
   while !i < n do
     let c = source.[!i] in
     if c = '(' && !i + 1 < n && source.[!i + 1] = '*' then begin
       let start_line = !line in
       let standalone = not !line_has_code in
-      let buf = Buffer.create 32 in
+      Buffer.clear buf;
       blank_step ();
       blank_step ();
       let depth = ref 1 in
@@ -200,6 +202,16 @@ let is_number_char c =
   || (c >= 'A' && c <= 'F')
   || c = 'x' || c = 'o' || c = 'b' || c = 'e' || c = 'E'
 
+(* Two-character operators kept as single tokens; a table so the per-character
+   scan loop does constant-time membership tests. *)
+let two_char_ops =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun op -> Hashtbl.replace tbl op ())
+    [ "->"; "<-"; "/."; "*."; "+."; "-."; "<="; ">="; "<>"; "**"; ":="; "::"; "|>"; "||"; "&&";
+      "@@"; "=="; "!=" ];
+  tbl
+
 let tokenize text =
   let n = String.length text in
   let toks = ref [] in
@@ -288,12 +300,7 @@ let tokenize text =
       done;
       toks := { t = "[@" ^ name ^ "]"; tline = ln; tcol = col } :: !toks
     end
-    else if
-      !i + 1 < n
-      && List.mem (String.sub text !i 2)
-           [ "->"; "<-"; "/."; "*."; "+."; "-."; "<="; ">="; "<>"; "**"; ":="; "::"; "|>"; "||";
-             "&&"; "@@"; "=="; "!=" ]
-    then begin
+    else if !i + 1 < n && Hashtbl.mem two_char_ops (String.sub text !i 2) then begin
       toks := { t = String.sub text !i 2; tline = !line; tcol = !i - !bol + 1 } :: !toks;
       i := !i + 2
     end
@@ -312,7 +319,12 @@ type raw = { rule : string; rline : int; rcol : int; msg : string }
 
 (* Keywords after which a bare [compare] token is a definition or a label,
    not a use of the polymorphic primitive. *)
-let compare_definers = [ "let"; "and"; "rec"; "val"; "external"; "method"; "~"; "?" ]
+let compare_definers =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun kw -> Hashtbl.replace tbl kw ())
+    [ "let"; "and"; "rec"; "val"; "external"; "method"; "~"; "?" ];
+  tbl
 
 let scan_tokens toks =
   let out = ref [] in
@@ -337,7 +349,7 @@ let scan_tokens toks =
              error naming the missing key"
       | "compare" | "Stdlib.compare" ->
           let prev = if idx > 0 then toks.(idx - 1).t else "" in
-          if not (List.mem prev compare_definers) then
+          if not (Hashtbl.mem compare_definers prev) then
             add "poly-compare" tk.tline tk.tcol
               "polymorphic compare mis-orders NaN and is megamorphic; use an explicit comparator \
                (Float.compare, Int.compare, a tuple comparator, ...)"

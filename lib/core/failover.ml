@@ -12,7 +12,8 @@ let pair_path g ~protect (o, d) =
       if List.exists (Topo.Path.equal p) installed then None else Some ((o, d), p)
 
 let compute ?(jobs = 1) g ~protect ~pairs =
-  let results = Eutil.Pool.map_array ~jobs (pair_path g ~protect) (Array.of_list pairs) in
+  let pairs_arr = Array.of_list pairs in
+  let results = Eutil.Pool.map_array ~jobs (pair_path g ~protect) pairs_arr in
   (* Merge in [pairs] order — the same insertion order as the sequential
      loop, so the resulting table iterates identically for any [jobs]. *)
   let table = Hashtbl.create (List.length pairs) in
@@ -22,24 +23,28 @@ let compute ?(jobs = 1) g ~protect ~pairs =
 let vulnerable_pairs g tables =
   List.filter_map
     (fun e ->
-      let paths = Array.to_list (Tables.paths e) in
       (* A pair is vulnerable iff some link lies on every installed path. *)
-      match paths with
-      | [] -> None
-      | first :: rest ->
-          let common =
-            Array.to_list (Topo.Path.links g first)
-            |> List.filter (fun l -> List.for_all (fun p -> Topo.Path.uses_link g p l) rest)
-          in
-          if common <> [] then Some (e.Tables.origin, e.Tables.dest) else None)
+      let paths = Tables.paths e in
+      if Array.length paths = 0 then None
+      else begin
+        let on_all_paths l =
+          let ok = ref true in
+          for i = 1 to Array.length paths - 1 do
+            if not (Topo.Path.uses_link g paths.(i) l) then ok := false
+          done;
+          !ok
+        in
+        if Array.exists on_all_paths (Topo.Path.links g paths.(0)) then
+          Some (e.Tables.origin, e.Tables.dest)
+        else None
+      end)
     (Tables.entries tables)
 
 (* Interior (transit) nodes of a path; endpoint loss is not a routing
    failure, so origins and destinations do not count. *)
 let interior_nodes g p =
   let nodes = Topo.Path.nodes g p in
-  if Array.length nodes <= 2 then []
-  else Array.to_list (Array.sub nodes 1 (Array.length nodes - 2))
+  if Array.length nodes <= 2 then [||] else Array.sub nodes 1 (Array.length nodes - 2)
 
 let node_vulnerable_pairs g tables =
   List.filter_map
@@ -47,13 +52,18 @@ let node_vulnerable_pairs g tables =
       (* A pair is node-vulnerable iff some transit node lies on every
          installed path: a chassis loss there takes out all of the pair's
          links at once, which no per-link disjointness protects against. *)
-      match Array.to_list (Tables.paths e) with
-      | [] -> None
-      | first :: rest ->
-          let common =
-            interior_nodes g first
-            |> List.filter (fun v ->
-                   List.for_all (fun p -> List.mem v (interior_nodes g p)) rest)
-          in
-          if common <> [] then Some (e.Tables.origin, e.Tables.dest) else None)
+      let paths = Tables.paths e in
+      if Array.length paths = 0 then None
+      else begin
+        let on_all_interiors v =
+          let ok = ref true in
+          for i = 1 to Array.length paths - 1 do
+            if not (Array.exists (Int.equal v) (interior_nodes g paths.(i))) then ok := false
+          done;
+          !ok
+        in
+        if Array.exists on_all_interiors (interior_nodes g paths.(0)) then
+          Some (e.Tables.origin, e.Tables.dest)
+        else None
+      end)
     (Tables.entries tables)

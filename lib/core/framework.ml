@@ -117,6 +117,64 @@ let precompute ?(config = default) ?(jobs = 1) g power ~pairs =
       Obs.Metric.Gauge.set_int m_table_entries (List.length entries);
       tables)
 
+(* ------------------------------------------------------------------ *)
+(* Memoized precompute                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Cache keys are exact digests of every input [precompute] reads: the
+   topology structure, the power model evaluated over that topology (the
+   model is a record of closures, so its observable behaviour on [g] is
+   all a key can — and need — capture), the pair list and the config
+   including any embedded traffic matrix. [jobs] is deliberately absent:
+   tables are identical for any fan-out. *)
+
+let power_signature g (p : Power.Model.t) =
+  let b = Buffer.create 512 in
+  Buffer.add_string b p.Power.Model.description;
+  for n = 0 to Topo.Graph.node_count g - 1 do
+    Buffer.add_string b (Printf.sprintf "|%h" (U.to_float (p.Power.Model.chassis n)))
+  done;
+  Topo.Graph.fold_arcs g ~init:() ~f:(fun () a ->
+      Buffer.add_string b (Printf.sprintf "|%h" (U.to_float (p.Power.Model.port a))));
+  for l = 0 to Topo.Graph.link_count g - 1 do
+    Buffer.add_string b (Printf.sprintf "|%h" (U.to_float (p.Power.Model.amplifier l)))
+  done;
+  Buffer.contents b
+
+let variant_signature = function
+  | Solver tm -> "solver:" ^ Traffic.Matrix.signature tm
+  | Stress q -> Printf.sprintf "stress:%h" q
+  | Ospf -> "ospf"
+  | Heuristic tm -> "heuristic:" ^ Traffic.Matrix.signature tm
+
+let config_signature c =
+  let mode =
+    match c.always_on_mode with
+    | Always_on.Oblivious -> "oblivious"
+    | Always_on.Epsilon -> "epsilon"
+    | Always_on.Off_peak tm -> "off_peak:" ^ Traffic.Matrix.signature tm
+  in
+  let beta = match c.latency_beta with None -> "none" | Some b -> Printf.sprintf "%h" b in
+  Printf.sprintf "%h|%d|%s|%s|%s" (U.to_float c.margin) c.n_paths beta mode
+    (variant_signature c.on_demand)
+
+let cache : (string, Tables.t) Eutil.Memo.t = Eutil.Memo.create ~capacity:32 ()
+
+let cache_stats () = Eutil.Memo.stats cache
+let cache_clear () = Eutil.Memo.clear cache
+
+let precompute_cached ?(config = default) ?(jobs = 1) g power ~pairs =
+  let pair_sig p = Printf.sprintf "%d,%d" (fst p) (snd p) in
+  let key =
+    String.concat "/"
+      [ Topo.Graph.signature g;
+        power_signature g power;
+        String.concat ";" (List.map pair_sig pairs);
+        config_signature config ]
+  in
+  Eutil.Memo.find_or_add cache key ~compute:(fun _ ->
+      precompute ~config ~jobs g power ~pairs)
+
 type evaluation = {
   state : Topo.State.t;
   power_watts : float;

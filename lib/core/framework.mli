@@ -44,6 +44,29 @@ val precompute :
     infeasible on the full network, or (with {!install_checks} on) on any
     error-severity invariant finding. *)
 
+val precompute_cached :
+  ?config:config -> ?jobs:int -> Topo.Graph.t -> Power.Model.t -> pairs:(int * int) list -> Tables.t
+(** {!precompute} behind a bounded {!Eutil.Memo} cache (32 entries, LRU),
+    keyed by exact digests of every input the pipeline reads: the
+    {!Topo.Graph.signature}, the power model evaluated over the topology,
+    the pair list, and the config including the
+    {!Traffic.Matrix.signature} of any embedded matrix. [jobs] is not part
+    of the key — tables are identical for any fan-out. Certified memo-safe
+    by the [memo-unsafe] rule of [respctl analyze --cost] (see
+    [check/cost.json]); a raising computation (infeasible demands, invariant
+    violation) is never cached.
+
+    The returned tables may reference the structurally-identical graph of
+    an earlier call rather than [g] itself; all identifiers coincide by the
+    signature contract.
+    @raise Invalid_argument as {!precompute}. *)
+
+val cache_stats : unit -> Eutil.Memo.stats
+(** Lifetime hit/miss/eviction counters of the precompute cache. *)
+
+val cache_clear : unit -> unit
+(** Drops every cached table set (counters keep counting). *)
+
 type evaluation = {
   state : Topo.State.t;  (** elements carrying traffic (the rest sleep) *)
   power_watts : float;

@@ -6,9 +6,12 @@ type variant =
 
 let stress_factors g assignment =
   let sf = Array.make (Topo.Graph.link_count g) 0.0 in
-  Hashtbl.iter
-    (fun _ p -> Array.iter (fun l -> sf.(l) <- sf.(l) +. 1.0) (Topo.Path.links g p))
-    assignment;
+  (* Fold-then-sort: deterministic pair order regardless of table history
+     (and certifiably so for the memo-unsafe audit). *)
+  let entries = Hashtbl.fold (fun od p acc -> (od, p) :: acc) assignment [] in
+  List.iter
+    (fun (_, p) -> Array.iter (fun l -> sf.(l) <- sf.(l) +. 1.0) (Topo.Path.links g p))
+    (List.sort (Eutil.Order.by fst Eutil.Order.int_pair) entries);
   Array.mapi (fun l count -> count /. Topo.Graph.link_capacity g l) sf
 
 (* Links excluded by the stress rule: the top [fraction] by stress factor

@@ -93,8 +93,7 @@ let create tables cfg =
   List.iter
     (fun e ->
       let paths = Tables.paths e in
-      let split = Array.make (Array.length paths) 0.0 in
-      split.(0) <- 1.0;
+      let split = Array.init (Array.length paths) (fun i -> if i = 0 then 1.0 else 0.0) in
       Hashtbl.replace pairs
         (e.Tables.origin, e.Tables.dest)
         { paths; split; below_since = None; mode = Normal })
@@ -185,9 +184,11 @@ let on_probe t ~origin ~dest ~now ~link_util ~link_usable =
             now +. (U.to_float cfg.panic_backoff *. float_of_int (1 lsl d.d_retries));
           Obs.Metric.Counter.incr m_panic_wakes;
           let all_links =
-            Array.to_list ps.paths
-            |> List.concat_map (fun p -> Array.to_list (Topo.Path.links g p))
-            |> List.sort_uniq Int.compare
+            let acc = ref [] in
+            Array.iter
+              (fun p -> Array.iter (fun l -> acc := l :: !acc) (Topo.Path.links g p))
+              ps.paths;
+            List.sort_uniq Int.compare !acc
           in
           Obs.Metric.Counter.add_int m_wake_requests (List.length all_links);
           [ Wake all_links ]

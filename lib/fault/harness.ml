@@ -67,39 +67,44 @@ let pair_availability ~threshold ~interval ~pairs ~timeline (samples : Netsim.Si
     =
   let counted = ref 0 and served = ref 0 in
   let recoveries = ref [] in
-  List.iter
-    (fun (o, d) ->
-      let open_run = ref 0 in
-      let close_run () =
-        if !open_run > 0 then begin
-          recoveries := (float_of_int !open_run *. interval) :: !recoveries;
-          open_run := 0
-        end
-      in
-      Array.iter
-        (fun sm ->
-          if sm.Netsim.Sim.demand_total > 0.0 then begin
-            match demand_at timeline sm.Netsim.Sim.time with
-            | None -> ()
-            | Some m ->
+  (* Sample-major walk with per-pair run counters: each sample's pair_rates
+     assoc list is loaded into one reusable table instead of being searched
+     once per pair per sample. *)
+  let pairs_arr = Array.of_list pairs in
+  let open_run = Array.make (Array.length pairs_arr) 0 in
+  let close_run k =
+    if open_run.(k) > 0 then begin
+      recoveries := (float_of_int open_run.(k) *. interval) :: !recoveries;
+      open_run.(k) <- 0
+    end
+  in
+  let rate_tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun sm ->
+      if sm.Netsim.Sim.demand_total > 0.0 then begin
+        match demand_at timeline sm.Netsim.Sim.time with
+        | None -> ()
+        | Some m ->
+            Hashtbl.reset rate_tbl;
+            List.iter
+              (fun (od, r) -> if not (Hashtbl.mem rate_tbl od) then Hashtbl.add rate_tbl od r)
+              sm.Netsim.Sim.pair_rates;
+            Array.iteri
+              (fun k (o, d) ->
                 let dem = Traffic.Matrix.get m o d in
                 if dem > 0.0 then begin
                   incr counted;
-                  let rate =
-                    Option.value
-                      (List.assoc_opt (o, d) sm.Netsim.Sim.pair_rates)
-                      ~default:0.0
-                  in
+                  let rate = Option.value (Hashtbl.find_opt rate_tbl (o, d)) ~default:0.0 in
                   if rate +. 1e-9 >= threshold *. dem then begin
                     incr served;
-                    close_run ()
+                    close_run k
                   end
-                  else incr open_run
-                end
-          end)
-        samples;
-      close_run ())
-    pairs;
+                  else open_run.(k) <- open_run.(k) + 1
+                end)
+              pairs_arr
+      end)
+    samples;
+  Array.iteri (fun k _ -> close_run k) pairs_arr;
   let availability =
     if !counted = 0 then 1.0
     else float_of_int !served /. float_of_int (max 1 !counted)
@@ -183,7 +188,8 @@ let run ?(config = Netsim.Sim.default_config) ?(threshold = 0.999) ?(jobs = 1) ~
   let served =
     sum (fun tr -> tr.tr_availability *. float_of_int tr.tr_pair_samples)
   in
-  let recoveries = Array.concat (Array.to_list (Array.map (fun tr -> tr.tr_recoveries) trials)) in
+  let per_trial = Array.to_list (Array.map (fun tr -> tr.tr_recoveries) trials) in
+  let recoveries = Array.concat per_trial in
   let pct p = if Array.length recoveries = 0 then 0.0 else Eutil.Stats.percentile recoveries p in
   {
     base_seed = trials.(0).tr_seed;
@@ -283,6 +289,7 @@ let trial_json tr =
     tr.tr_rejected_wakes tr.tr_fallback_routes
 
 let to_json r =
+  let per_trial_json = Array.to_list (Array.map trial_json r.trials) in
   let doc =
     Printf.sprintf
       "{\"seed\":%d,\"trials\":%d,\"availability\":%s,\"delivered_fraction\":%s,\"lost_fraction\":%s,\"offered_bits\":%s,\"delivered_bits\":%s,\"lost_bits\":%s,\"conservation_residual_bits\":%s,\"outages\":%d,\"recovery_p50_s\":%s,\"recovery_p99_s\":%s,\"recovery_max_s\":%s,\"sleep_ratio\":%s,\"mean_power_percent\":%s,\"rejected_wakes\":%d,\"fallback_routes\":%d,\"per_trial\":[%s]}"
@@ -291,7 +298,7 @@ let to_json r =
       (f6 r.conservation_residual_bits) r.outages (f6 r.recovery_p50) (f6 r.recovery_p99)
       (f6 r.recovery_max) (f6 r.sleep_ratio) (f6 r.mean_power_percent) r.rejected_wakes
       r.fallback_routes
-      (String.concat "," (Array.to_list (Array.map trial_json r.trials)))
+      (String.concat "," per_trial_json)
   in
   (* Every emission passes the same validator that gates the Obs exporters;
      a malformed summary is a bug, not a caller problem. *)

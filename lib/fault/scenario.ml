@@ -165,9 +165,10 @@ let events spec g ~base =
     | Netsim.Sim.Repair_link (t, l) -> (t, 1, l)
     | Netsim.Sim.Fail_link (t, l) -> (t, 2, l)
   in
+  let all_events = List.rev_append (List.rev demand_events) !fault_events in
   List.sort
     (Eutil.Order.by key (Eutil.Order.triple Float.compare Int.compare Int.compare))
-    (demand_events @ !fault_events)
+    all_events
 
 let random_srlgs g rng ~groups ~size =
   if groups <= 0 || size <= 0 then

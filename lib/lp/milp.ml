@@ -43,19 +43,26 @@ let solve_raw ?(max_nodes = 50_000) { lp; integer } =
   let nodes = ref 0 in
   let hit_limit = ref false in
   let better obj = match !incumbent with None -> true | Some (_, best) -> obj < best -. 1e-9 in
-  let rec branch extra_rows =
+  (* Branching bound rows are appended AFTER the base rows, oldest first, so
+     every node's row list has its parent's as a prefix. That keeps the
+     simplex column layout stable along a branch, which is what lets the
+     parent's optimal basis warm-start the child solve: the child is the
+     parent plus one violated bound, and a few dual pivots repair it. *)
+  let rev_base = List.rev lp.Simplex.rows in
+  let rec branch extra_rows hint =
     if !nodes >= max_nodes then hit_limit := true
     else begin
       incr nodes;
-      let problem = { lp with Simplex.rows = extra_rows @ lp.Simplex.rows } in
-      match Simplex.solve problem with
-      | Simplex.Infeasible -> ()
-      | Simplex.Unbounded ->
+      let rows = List.rev_append rev_base (List.rev extra_rows) in
+      let problem = { lp with Simplex.rows = rows } in
+      match Simplex.solve_with_basis ?hint problem with
+      | Simplex.Infeasible, _ -> ()
+      | Simplex.Unbounded, _ ->
           (* A relaxation unbounded at the root makes the MILP unbounded or
              infeasible; deeper in the tree it cannot improve a bounded
              incumbent search, so treat it as a dead end only at depth > 0. *)
           if extra_rows = [] then raise Exit
-      | Simplex.Optimal { x; objective } ->
+      | Simplex.Optimal { x; objective }, basis ->
           if better objective then begin
             match most_fractional integer x with
             | None -> incumbent := Some (Array.copy x, objective)
@@ -64,10 +71,10 @@ let solve_raw ?(max_nodes = 50_000) { lp; integer } =
                 let lo = floor v and hi = ceil v in
                 (* Explore the branch closest to the relaxation first. *)
                 let down () =
-                  branch (bound_row lp.Simplex.n_vars j 1.0 Simplex.Le lo :: extra_rows)
+                  branch (bound_row lp.Simplex.n_vars j 1.0 Simplex.Le lo :: extra_rows) basis
                 in
                 let up () =
-                  branch (bound_row lp.Simplex.n_vars j 1.0 Simplex.Ge hi :: extra_rows)
+                  branch (bound_row lp.Simplex.n_vars j 1.0 Simplex.Ge hi :: extra_rows) basis
                 in
                 if v -. lo <= hi -. v then begin
                   down ();
@@ -81,7 +88,7 @@ let solve_raw ?(max_nodes = 50_000) { lp; integer } =
     end
   in
   let outcome =
-    match branch [] with
+    match branch [] None with
     | () -> (
         match !incumbent with
         | Some (x, objective) -> Optimal { x; objective }

@@ -23,3 +23,18 @@ type outcome =
 val solve : problem -> outcome
 (** Solves the program. Variables are implicitly bounded below by 0; upper
     bounds must be expressed as rows. *)
+
+type basis
+(** An optimal basis, reusable as a warm-start hint. A basis taken from a
+    problem [p] is a valid hint for any problem whose row list has [p]'s
+    rows as a prefix (extra rows appended at the end) and the same
+    variables — the layout branch-and-bound produces when it appends bound
+    rows per node. *)
+
+val solve_with_basis : ?hint:basis -> problem -> outcome * basis option
+(** Like {!solve}, and additionally returns the final basis on [Optimal]
+    for threading into subsequent related solves. With [?hint] the solver
+    crashes the hinted basis into the tableau, repairs primal feasibility
+    with dual simplex steps, and falls back to the cold two-phase path
+    whenever the hint is numerically unusable — the outcome is always the
+    same as a cold solve, only (usually) cheaper. *)

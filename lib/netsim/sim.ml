@@ -403,6 +403,13 @@ let run ?(config = default_config) ?initial_splits ~tables ~power ~events ~durat
   in
   (* Initially the links used by current splits are active. *)
   let pairs = Response.Tables.pairs tables in
+  let seeded_splits = Hashtbl.create 16 in
+  (match initial_splits with
+  | None -> ()
+  | Some l ->
+      List.iter
+        (fun (od, sp) -> if not (Hashtbl.mem seeded_splits od) then Hashtbl.add seeded_splits od sp)
+        l);
   List.iter
     (fun (o, d) ->
       match Response.Tables.find tables o d with
@@ -410,11 +417,8 @@ let run ?(config = default_config) ?initial_splits ~tables ~power ~events ~durat
       | Some e ->
           let paths = Response.Tables.paths e in
           let split =
-            match initial_splits with
-            | Some l -> (
-                match List.assoc_opt (o, d) l with
-                | Some sp -> sp
-                | None -> Response.Te.split te o d)
+            match Hashtbl.find_opt seeded_splits (o, d) with
+            | Some sp -> sp
             | None -> Response.Te.split te o d
           in
           Array.iteri

@@ -95,14 +95,13 @@ let text_value = function
             Printf.sprintf "p%.0f=%s" (100.0 *. q) (render_float v))
           h.R.quantiles
       in
-      String.concat " "
-        ([
-           Printf.sprintf "count=%d" h.R.count;
-           Printf.sprintf "sum=%s" (render_float h.R.sum);
-           Printf.sprintf "min=%s" (render_float h.R.min);
-         ]
-        @ qs
-        @ [ Printf.sprintf "max=%s" (render_float h.R.max) ])
+      let items =
+        Printf.sprintf "count=%d" h.R.count
+        :: Printf.sprintf "sum=%s" (render_float h.R.sum)
+        :: Printf.sprintf "min=%s" (render_float h.R.min)
+        :: List.rev_append (List.rev qs) [ Printf.sprintf "max=%s" (render_float h.R.max) ]
+      in
+      String.concat " " items
 
 let to_text samples =
   let samples = sort_samples samples in
@@ -128,16 +127,14 @@ let json_value = function
             Printf.sprintf "\"p%.0f\":%s" (100.0 *. q) (json_float v))
           h.R.quantiles
       in
-      "{"
-      ^ String.concat ","
-          ([
-             Printf.sprintf "\"count\":%d" h.R.count;
-             Printf.sprintf "\"sum\":%s" (json_float h.R.sum);
-             Printf.sprintf "\"min\":%s" (json_float h.R.min);
-             Printf.sprintf "\"max\":%s" (json_float h.R.max);
-           ]
-          @ qs)
-      ^ "}"
+      let fields =
+        Printf.sprintf "\"count\":%d" h.R.count
+        :: Printf.sprintf "\"sum\":%s" (json_float h.R.sum)
+        :: Printf.sprintf "\"min\":%s" (json_float h.R.min)
+        :: Printf.sprintf "\"max\":%s" (json_float h.R.max)
+        :: qs
+      in
+      "{" ^ String.concat "," fields ^ "}"
 
 let to_json samples =
   let samples = sort_samples samples in
@@ -176,7 +173,7 @@ let to_prometheus samples =
           Buffer.add_string buf (Printf.sprintf "%s%s %s\n" s.R.name labels (prom_float v))
       | R.Histogram_v h ->
           let with_le le =
-            render_labels prom_escape (s.R.labels @ [ ("le", le) ])
+            render_labels prom_escape (List.rev_append (List.rev s.R.labels) [ ("le", le) ])
           in
           List.iter
             (fun (ub, cum) ->

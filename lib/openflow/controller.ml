@@ -15,13 +15,14 @@ let program t ~splits =
   (* Full recompilation: rebuild every switch table. Weighted buckets are
      accumulated per (node, pair) over all active paths through that node. *)
   Array.iteri (fun i _ -> t.switch.(i) <- Flowtable.create ()) t.switch;
+  (* node -> (arc, weight) list; one scratch table reused across entries. *)
+  let hops : (int, (int * float) list) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun e ->
       let o = e.Response.Tables.origin and d = e.Response.Tables.dest in
       let paths = Response.Tables.paths e in
       let split = splits o d in
-      (* node -> (arc, weight) list *)
-      let hops : (int, (int * float) list) Hashtbl.t = Hashtbl.create 8 in
+      Hashtbl.reset hops;
       Array.iteri
         (fun i p ->
           if i < Array.length split && split.(i) > 0.0 then

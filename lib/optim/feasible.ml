@@ -111,4 +111,7 @@ let restore t s =
   Array.blit s.s_residual 0 t.residual_a 0 (Array.length t.residual_a);
   Array.blit s.s_load 0 t.load_a 0 (Array.length t.load_a);
   Hashtbl.reset t.placed;
-  Hashtbl.iter (fun k v -> Hashtbl.replace t.placed k v) s.s_placed
+  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.s_placed [] in
+  List.iter
+    (fun (k, v) -> Hashtbl.replace t.placed k v)
+    (List.sort (Eutil.Order.by fst Eutil.Order.int_pair) entries)

@@ -27,12 +27,11 @@ let solve ?margin ?(max_nodes = 200_000) ?(pin_link = fun _ -> false)
   List.iter
     (fun ((o, d, _), fv) ->
       for n = 0 to n_nodes - 1 do
-        let terms =
-          Array.to_list (Array.map (fun a -> (1.0, fv.(a))) (G.out_arcs g n))
-          @ Array.to_list (Array.map (fun a -> (-1.0, fv.(a))) (G.in_arcs g n))
-        in
+        let terms = ref [] in
+        Array.iter (fun a -> terms := (-1.0, fv.(a)) :: !terms) (G.in_arcs g n);
+        Array.iter (fun a -> terms := (1.0, fv.(a)) :: !terms) (G.out_arcs g n);
         let rhs = if n = o then 1.0 else if n = d then -1.0 else 0.0 in
-        Lp.Model.constr m terms Lp.Simplex.Eq rhs
+        Lp.Model.constr m !terms Lp.Simplex.Eq rhs
       done)
     f;
   (* Capacity (2) and flow-on-active-link coupling. *)
@@ -41,8 +40,7 @@ let solve ?margin ?(max_nodes = 200_000) ?(pin_link = fun _ -> false)
     (* Capacity, pre-scaled by the arc capacity for numerical conditioning:
        sum_v (v/C) f_a <= margin * Y. *)
     let cap_terms =
-      List.map (fun ((_, _, v), fv) -> (v /. arc.G.capacity, fv.(a))) f
-      @ [ (-.margin, y.(arc.G.link)) ]
+      (-.margin, y.(arc.G.link)) :: List.map (fun ((_, _, v), fv) -> (v /. arc.G.capacity, fv.(a))) f
     in
     Lp.Model.constr m cap_terms Lp.Simplex.Le 0.0;
     List.iter
@@ -59,9 +57,9 @@ let solve ?margin ?(max_nodes = 200_000) ?(pin_link = fun _ -> false)
   done;
   for n = 0 to n_nodes - 1 do
     let incident =
-      Array.to_list (G.out_arcs g n)
-      |> List.map (fun a -> (G.arc g a).G.link)
-      |> List.sort_uniq Int.compare
+      let acc = ref [] in
+      Array.iter (fun a -> acc := (G.arc g a).G.link :: !acc) (G.out_arcs g n);
+      List.sort_uniq Int.compare !acc
     in
     Lp.Model.constr m
       ((1.0, x.(n)) :: List.map (fun l -> (-1.0, y.(l))) incident)
@@ -73,8 +71,9 @@ let solve ?margin ?(max_nodes = 200_000) ?(pin_link = fun _ -> false)
       match delay_bound (o, d) with
       | None -> ()
       | Some bound ->
-          let terms = Array.to_list (Array.mapi (fun a v -> ((G.arc g a).G.latency, v)) fv) in
-          Lp.Model.constr m terms Lp.Simplex.Le bound)
+          let terms = ref [] in
+          Array.iteri (fun a v -> terms := ((G.arc g a).G.latency, v) :: !terms) fv;
+          Lp.Model.constr m !terms Lp.Simplex.Le bound)
     f;
   (* Objective: chassis power on X, link power on Y. The coefficients are
      typed watts until this point; the LP substrate is the dimensionless
@@ -102,6 +101,7 @@ let solve ?margin ?(max_nodes = 200_000) ?(pin_link = fun _ -> false)
         if Lp.Model.value sol y.(l) > 0.5 then Topo.State.set_link g state l true
       done;
       let routing = Hashtbl.create (List.length f) in
+      let visited = Array.make n_nodes false in
       List.iter
         (fun ((o, d, _), fv) ->
           (* Extract the o->d path from the support of f by depth-first
@@ -109,7 +109,7 @@ let solve ?margin ?(max_nodes = 200_000) ?(pin_link = fun _ -> false)
              but it may also contain cost-free cycles on links that other
              flows keep active, so a blind walk could loop; DFS with a
              visited set cannot. *)
-          let visited = Array.make n_nodes false in
+          Array.fill visited 0 n_nodes false;
           let rec dfs node acc =
             if node = d then Some (List.rev acc)
             else begin

@@ -59,9 +59,11 @@ let router_moves g power tm =
       if has_demand.(n) || Topo.Graph.role g n = Topo.Graph.Host then acc
       else begin
         let links =
-          Array.to_list (Topo.Graph.out_arcs g n)
-          |> List.map (fun a -> (Topo.Graph.arc g a).Topo.Graph.link)
-          |> List.sort_uniq Int.compare
+          let ls = ref [] in
+          Array.iter
+            (fun a -> ls := (Topo.Graph.arc g a).Topo.Graph.link :: !ls)
+            (Topo.Graph.out_arcs g n);
+          List.sort_uniq Int.compare !ls
         in
         let gain =
           U.to_float

@@ -18,8 +18,9 @@ let routes g ?weight ~pairs () =
       Hashtbl.replace by_origin o (d :: l))
     pairs;
   let table = Hashtbl.create (List.length pairs) in
-  Hashtbl.iter
-    (fun o dests ->
+  let origins = Hashtbl.fold (fun o dests acc -> (o, dests) :: acc) by_origin [] in
+  List.iter
+    (fun (o, dests) ->
       let res = Dijkstra.run g ~weight ~src:o () in
       List.iter
         (fun d ->
@@ -27,13 +28,14 @@ let routes g ?weight ~pairs () =
           | Some p -> Hashtbl.replace table (o, d) p
           | None -> ())
         dests)
-    by_origin;
+    (List.sort (Eutil.Order.by fst Int.compare) origins);
   table
 
 let delay_bound_table g ~pairs ~beta =
   let table = routes g ~pairs () in
   let bounds = Hashtbl.create (Hashtbl.length table) in
-  Hashtbl.iter
-    (fun od p -> Hashtbl.replace bounds od ((1.0 +. beta) *. Topo.Path.latency g p))
-    table;
+  let entries = Hashtbl.fold (fun od p acc -> (od, p) :: acc) table [] in
+  List.iter
+    (fun (od, p) -> Hashtbl.replace bounds od ((1.0 +. beta) *. Topo.Path.latency g p))
+    (List.sort (Eutil.Order.by fst Eutil.Order.int_pair) entries);
   bounds

@@ -43,11 +43,14 @@ let disjoint_pair g ?(weight = default_weight) ?(active = fun _ -> true) ~src ~d
       (* Decompose the remaining arcs into two link-disjoint s-t paths by
          walking twice from the source. *)
       let out_of = Hashtbl.create 16 in
-      Hashtbl.iter
-        (fun a () ->
+      (* Arc ids sorted so the decomposition below is independent of hash
+         order (memo-safe determinism). *)
+      let used_arcs = Hashtbl.fold (fun a () acc -> a :: acc) used [] in
+      List.iter
+        (fun a ->
           let u = (Topo.Graph.arc g a).Topo.Graph.src in
           Hashtbl.replace out_of u (a :: Option.value (Hashtbl.find_opt out_of u) ~default:[]))
-        used;
+        (List.sort Int.compare used_arcs);
       let take_path () =
         let rec walk node acc =
           if node = dst then Some (List.rev acc)

@@ -27,6 +27,10 @@ let k_shortest g ?weight ?(active = fun _ -> true) ~src ~dst ~k () =
             candidates := (path_weight g weight p, p) :: !candidates
           end
         in
+        (* Ban tables reused across every spur iteration instead of being
+           reallocated k * |path| times per run. *)
+        let banned_arcs = Hashtbl.create 8 in
+        let banned_nodes = Hashtbl.create 8 in
         (try
            while List.length !accepted < k do
              (* [accepted] starts as [first] and only grows. *)
@@ -40,7 +44,7 @@ let k_shortest g ?weight ?(active = fun _ -> true) ~src ~dst ~k () =
                let root = Array.sub prev_arcs 0 i in
                (* Arcs banned: the next arc of every accepted/candidate path
                   sharing the same root, in both directions of the link. *)
-               let banned_arcs = Hashtbl.create 8 in
+               Hashtbl.reset banned_arcs;
                let ban_next p =
                  let arcs = p.Topo.Path.arcs in
                  if Array.length arcs > i && Array.sub arcs 0 i = root then begin
@@ -51,7 +55,7 @@ let k_shortest g ?weight ?(active = fun _ -> true) ~src ~dst ~k () =
                List.iter ban_next !accepted;
                (* Nodes of the root (except the spur node) are banned to keep
                   paths loopless. *)
-               let banned_nodes = Hashtbl.create 8 in
+               Hashtbl.reset banned_nodes;
                Array.iteri
                  (fun idx a ->
                    let arc = Topo.Graph.arc g a in

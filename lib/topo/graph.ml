@@ -98,6 +98,22 @@ let traffic_nodes g =
   in
   Array.of_list selected
 
+let signature g =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (string_of_int (node_count g));
+  for n = 0 to node_count g - 1 do
+    Buffer.add_char b '|';
+    Buffer.add_string b g.names.(n);
+    Buffer.add_char b ':';
+    Buffer.add_string b (role_to_string g.roles.(n))
+  done;
+  Array.iter
+    (fun a ->
+      Buffer.add_string b
+        (Printf.sprintf "|%d>%d#%d:%h:%h" a.src a.dst a.link a.capacity a.latency))
+    g.arcs;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 let pp ppf g =
   Format.fprintf ppf "graph(%d nodes, %d links, %d arcs)" (node_count g) (link_count g)
     (arc_count g)

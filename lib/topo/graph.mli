@@ -82,6 +82,13 @@ val traffic_nodes : t -> int array
 (** Nodes that may originate or terminate demand: hosts when the topology has
     hosts, every non-feeder node otherwise. *)
 
+val signature : t -> string
+(** Structural digest of the topology: node names and roles plus every arc's
+    endpoints, link id, capacity and latency (hex float, so the digest is
+    exact). Two graphs with equal signatures are interchangeable for any
+    routing or power computation — the key contract {!Response.Framework}
+    relies on for cached precomputation. *)
+
 val pp : Format.formatter -> t -> unit
 (** One-line summary (node/link counts). *)
 

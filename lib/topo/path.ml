@@ -49,5 +49,5 @@ let shares_link g a b =
 
 let pp g ppf p =
   let ns = nodes g p in
-  Format.fprintf ppf "%s"
-    (String.concat "-" (Array.to_list (Array.map (Graph.name g) ns)))
+  let names = Array.to_list (Array.map (Graph.name g) ns) in
+  Format.fprintf ppf "%s" (String.concat "-" names)

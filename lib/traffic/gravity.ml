@@ -9,11 +9,15 @@ let weights g =
       w.(j) <- w.(j) +. c);
   w
 
-let all_pairs g =
-  let nodes = Topo.Graph.traffic_nodes g in
-  Array.to_list nodes
-  |> List.concat_map (fun o ->
-         Array.to_list nodes |> List.filter_map (fun d -> if o <> d then Some (o, d) else None))
+(* Ordered cross product [o <> d], in row-major node order. *)
+let cross_pairs nodes =
+  let acc = ref [] in
+  Array.iter
+    (fun o -> Array.iter (fun d -> if o <> d then acc := (o, d) :: !acc) nodes)
+    nodes;
+  List.rev !acc
+
+let all_pairs g = cross_pairs (Topo.Graph.traffic_nodes g)
 
 let make g ?pairs ~total () =
   let total = U.to_float total in
@@ -38,10 +42,7 @@ let random_node_pairs g ~seed ~fraction =
   Eutil.Prng.shuffle rng nodes;
   let keep = max 2 (int_of_float (fraction *. float_of_int (Array.length nodes))) in
   let subset = Array.sub nodes 0 (min keep (Array.length nodes)) in
-  Array.to_list subset
-  |> List.concat_map (fun o ->
-         Array.to_list subset |> List.filter_map (fun d -> if o <> d then Some (o, d) else None))
-  |> List.sort Eutil.Order.int_pair
+  List.sort Eutil.Order.int_pair (cross_pairs subset)
 
 let random_pairs g ~seed ~fraction =
   let rng = Eutil.Prng.create seed in

@@ -104,6 +104,12 @@ let uniform n ~pairs ~demand = of_flows n (List.map (fun (o, d) -> (o, d, demand
 
 let pairs t = fold_flows t ~init:[] ~f:(fun acc o d _ -> (o, d) :: acc) |> List.rev
 
+let signature t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (string_of_int t.n);
+  iter_flows t ~f:(fun o d v -> Buffer.add_string b (Printf.sprintf "|%d,%d:%h" o d v));
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
 let equal a b =
   a.n = b.n
   &&

@@ -54,3 +54,8 @@ val pairs : t -> (int * int) list
 (** Origin-destination pairs with positive demand. *)
 
 val equal : t -> t -> bool
+
+val signature : t -> string
+(** Digest of the matrix size and every positive demand (hex float, exact).
+    Matrices with equal signatures place identically; used as the
+    traffic-dependent part of {!Response.Framework}'s precompute cache key. *)

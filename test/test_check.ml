@@ -796,6 +796,228 @@ let test_share_rules_catalogue () =
     [ "shared-write-reachable"; "unguarded-global"; "prng-shared"; "parallel-manifest" ]
     ids
 
+(* ------------------------------- cost ------------------------------- *)
+
+module Co = Check.Cost
+
+let cost_rule ?manifest rule sources =
+  List.filter (fun f -> f.F.rule = rule) (Co.analyze ?manifest (Cg.build_sources sources))
+
+let depth_of text tok =
+  match Array.to_list (Co.depths_of_string text) |> List.filter (fun (t, _) -> t = tok) with
+  | (_, dep) :: _ -> dep
+  | [] -> Alcotest.fail ("token not found: " ^ tok)
+
+let test_cost_depths () =
+  Alcotest.(check int) "for body" 1 (depth_of "for i = 0 to 9 do work i done" "work");
+  Alcotest.(check int) "after done" 0 (depth_of "for i = 0 to 9 do step i done; total" "total");
+  Alcotest.(check int) "hof span" 1 (depth_of "List.iter (fun x -> work x) xs" "work");
+  Alcotest.(check int) "after in" 0 (depth_of "let ys = List.map f xs in total ys" "total");
+  Alcotest.(check int) "nested hofs" 2
+    (depth_of "List.iter (fun x -> List.iter (fun y -> work y) ys) xs" "work");
+  Alcotest.(check int) "rec body" 1 (depth_of "let rec loop x = work (loop x)" "work");
+  Alcotest.(check int) "scalar module map" 0 (depth_of "Option.map (fun x -> work x) o" "work")
+
+let test_cost_quadratic_rule () =
+  let bad = [ src ~lib:"clib" "clib/c.ml" "let join xs ys = List.map (fun x -> x @ ys) xs\n" ] in
+  (match cost_rule "quadratic-list-op" bad with
+  | [ f ] ->
+      Alcotest.(check bool) "names the prim" true (contains_sub f.F.message "@");
+      Alcotest.(check bool) "is an error" true (f.F.severity = F.Error)
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 quadratic finding, got %d" (List.length fs)));
+  (* [( *@ )] in operator-name position is not list append. *)
+  let op =
+    [
+      src ~lib:"clib" "clib/c.ml"
+        "let total xs = List.fold_left (fun acc x -> U.( *@ ) acc x) zero xs\n";
+    ]
+  in
+  Alcotest.(check int) "operator position exempt" 0
+    (List.length (cost_rule "quadratic-list-op" op))
+
+let test_cost_rebuild_rule () =
+  let bad =
+    [ src ~lib:"clib" "clib/c.ml" "let f xs = List.map (fun _ -> Hashtbl.create 4) xs\n" ]
+  in
+  Alcotest.(check int) "Hashtbl.create in loop flagged" 1
+    (List.length (cost_rule "rebuild-in-loop" bad));
+  (* Array.init is the sanctioned escape hatch for per-item allocation. *)
+  let ok =
+    [ src ~lib:"clib" "clib/c.ml" "let f n xs = List.map (fun x -> Array.init n (fun i -> i + x)) xs\n" ]
+  in
+  Alcotest.(check int) "Array.init exempt" 0 (List.length (cost_rule "rebuild-in-loop" ok))
+
+let test_cost_fixed_idioms () =
+  (* Regression guards for the shapes eliminated across lib/ in this
+     change: each original is flagged, its replacement idiom is clean. *)
+  let count rule text = List.length (cost_rule rule [ src ~lib:"clib" "clib/c.ml" text ]) in
+  (* Path.pp: inline Array.to_list inside a String.concat span vs hoisted. *)
+  Alcotest.(check int) "inline to_list flagged" 1
+    (count "rebuild-in-loop" "let pp names g = String.concat \"-\" (Array.to_list (Array.map g names))\n");
+  Alcotest.(check int) "hoisted to_list clean" 0
+    (count "rebuild-in-loop"
+       "let pp names g = let parts = Array.to_list (Array.map g names) in String.concat \"-\" parts\n");
+  (* Yen: ban table rebuilt per spur iteration vs hoisted + reset. *)
+  Alcotest.(check int) "per-iteration table flagged" 1
+    (count "rebuild-in-loop" "let f n = for _ = 0 to n do ignore (Hashtbl.create 8) done\n");
+  Alcotest.(check int) "hoisted + reset clean" 0
+    (count "rebuild-in-loop"
+       "let f n = let banned = Hashtbl.create 8 in for _ = 0 to n do Hashtbl.reset banned done\n");
+  (* Append-accumulation vs cons + reverse. *)
+  Alcotest.(check int) "append in loop flagged" 1
+    (count "quadratic-list-op"
+       "let f xs = let acc = ref [] in List.iter (fun x -> acc := !acc @ [ x ]) xs; !acc\n");
+  Alcotest.(check int) "cons + rev clean" 0
+    (count "quadratic-list-op"
+       "let f xs = let acc = ref [] in List.iter (fun x -> acc := x :: !acc) xs; List.rev !acc\n")
+
+let test_cost_hot_rule () =
+  let sources =
+    [
+      src ~lib:"clib" "clib/hot.ml"
+        "let step x = Array.copy x\n\nlet run xs = List.iter (fun x -> ignore (step x)) xs\n";
+    ]
+  in
+  (* Without a hot declaration the per-iteration allocation is silent. *)
+  Alcotest.(check int) "silent when not hot" 0
+    (List.length (cost_rule "alloc-in-hot-loop" sources));
+  match cost_rule ~manifest:[ ("hot", [ "Hot.run" ]) ] "alloc-in-hot-loop" sources with
+  | [ f ] ->
+      Alcotest.(check bool) "is a warning" true (f.F.severity = F.Warn);
+      Alcotest.(check bool) "names the entrypoint" true
+        (contains_sub f.F.message "Hot.run")
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 hot warning, got %d" (List.length fs))
+
+let test_cost_memo_rule () =
+  let run memo text =
+    cost_rule ~manifest:[ ("memo", [ memo ]) ] "memo-unsafe"
+      [ src ~lib:"clib" "clib/m.ml" text ]
+  in
+  (* Uncancelled Hashtbl.iter: nondeterministic. *)
+  (match run "M.f" "let f tbl = Hashtbl.iter (fun k _ -> ignore k) tbl\n" with
+  | [ f ] ->
+      Alcotest.(check bool) "mentions Hashtbl.iter" true
+        (contains_sub f.F.message "Hashtbl.iter")
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 nondet finding, got %d" (List.length fs)));
+  (* The fold-then-sort idiom certifies: the sorter must follow the fold. *)
+  Alcotest.(check int) "fold-then-sort clean" 0
+    (List.length
+       (run "M.g"
+          "let g tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare\n"));
+  (* Partiality through a callee. *)
+  (match run "M.m" "let h xs = List.hd xs\n\nlet m xs = h xs\n" with
+  | [ f ] ->
+      Alcotest.(check bool) "mentions List.hd" true (contains_sub f.F.message "List.hd");
+      Alcotest.(check bool) "witness chain through h" true
+        (contains_sub f.F.message "M.h")
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 partial finding, got %d" (List.length fs)));
+  (* A direct raise in the memoized body disqualifies it. *)
+  (match run "M.r" "let r x = if x < 0 then invalid_arg \"neg\" else x\n" with
+  | [ f ] ->
+      Alcotest.(check bool) "mentions direct raise" true
+        (contains_sub f.F.message "raises directly")
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 raise finding, got %d" (List.length fs)))
+
+let test_cost_manifest_rule () =
+  let sources = [ src ~lib:"clib" "clib/c.ml" "let id x = x\n" ] in
+  (match cost_rule ~manifest:[ ("frozen", []) ] "cost-manifest" sources with
+  | [ f ] ->
+      Alcotest.(check bool) "unknown key named" true (contains_sub f.F.message "frozen")
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 unknown-key error, got %d" (List.length fs)));
+  match cost_rule ~manifest:[ ("memo", [ "Nope.nothing" ]) ] "cost-manifest" sources with
+  | [ f ] ->
+      Alcotest.(check bool) "unresolved entry named" true
+        (contains_sub f.F.message "Nope.nothing")
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 unresolved error, got %d" (List.length fs))
+
+let test_cost_infer_propagation () =
+  let cg =
+    Cg.build_sources
+      [
+        src ~lib:"clib" "clib/m.ml"
+          "let fresh n = Array.make n 0\n\
+           let per_row rows = List.map (fun n -> fresh n) rows\n\
+           let flat xs = List.concat xs\n";
+      ]
+  in
+  let infos = Co.infer cg in
+  let info_of name =
+    match
+      Array.to_list (Array.mapi (fun i d -> (d, infos.(i))) cg.Cg.defs)
+      |> List.filter (fun ((d : Cg.def), _) -> d.Cg.d_name = name)
+    with
+    | (_, info) :: _ -> info
+    | [] -> Alcotest.fail ("def not found: " ^ name)
+  in
+  let fresh = info_of "fresh" in
+  Alcotest.(check bool) "fresh allocates" true fresh.Co.c_alloc;
+  Alcotest.(check bool) "fresh not per-iteration by itself" false fresh.Co.c_alloc_per_iter;
+  Alcotest.(check int) "fresh has no loops" 0 fresh.Co.c_local_depth;
+  let per_row = info_of "per_row" in
+  Alcotest.(check int) "per_row loops once" 1 per_row.Co.c_local_depth;
+  Alcotest.(check bool) "allocation inside the loop propagates" true per_row.Co.c_alloc_per_iter;
+  Alcotest.(check bool) "cost reaches depth 1" true (per_row.Co.c_cost >= 1)
+
+let test_cost_rules_catalogue () =
+  Alcotest.(check (list string)) "rule ids"
+    [ "quadratic-list-op"; "rebuild-in-loop"; "alloc-in-hot-loop"; "memo-unsafe"; "cost-manifest" ]
+    (List.map fst Co.rules)
+
+(* ----------------------- Check.Doc (odoc stand-in) -------------------- *)
+
+let doc_findings text = Check.Doc.check_string ~file:"fix.mli" text
+
+let test_doc_clean () =
+  let text =
+    "val f : int -> int\n\
+     (** Doubles, honouring [x @ y], a \"*)\" in a string and a\n\
+     \   nested (* plain (* comment *) *) inside.\n\
+     \   @raise Invalid_argument on negatives.\n\
+     \   @raise Unix.Unix_error too.\n\
+     \   @see <http://example.com> the spec. *)\n"
+  in
+  Alcotest.(check int) "well-formed docs are silent" 0 (List.length (doc_findings text))
+
+let test_doc_raise_malformed () =
+  (match doc_findings "(** Text.\n    @raise invalid_arg lowercase. *)\nval f : int\n" with
+  | [ f ] ->
+      Alcotest.(check string) "rule" "raise-malformed" f.F.rule;
+      Alcotest.(check string) "line of the tag" "fix.mli:2" f.F.where;
+      Alcotest.(check bool) "names the offender" true (contains_sub f.F.message "invalid_arg")
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 finding, got %d" (List.length fs)));
+  match doc_findings "(** Text.\n    @raise *)\nval f : int\n" with
+  | [ f ] -> Alcotest.(check string) "bare @raise is malformed" "raise-malformed" f.F.rule
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 finding, got %d" (List.length fs))
+
+let test_doc_unknown_tag () =
+  (match doc_findings "(** Text.\n    @raises Invalid_argument typo. *)\n" with
+  | [ f ] ->
+      Alcotest.(check string) "rule" "doc-unknown-tag" f.F.rule;
+      Alcotest.(check bool) "names the tag" true (contains_sub f.F.message "@raises")
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 finding, got %d" (List.length fs)));
+  (* A mid-line @ (operator prose, e-mail, code span) is never a tag. *)
+  Alcotest.(check int) "mid-line @ ignored" 0
+    (List.length (doc_findings "(** Concatenation is [xs @ ys]; mail root@example. *)\n"))
+
+let test_doc_unterminated () =
+  match doc_findings "let x = 1\n(** Never closed...\n    @raise Failure anyway.\n" with
+  | [ f ] ->
+      Alcotest.(check string) "rule" "doc-unterminated" f.F.rule;
+      Alcotest.(check string) "line of the opener" "fix.mli:2" f.F.where
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 finding, got %d" (List.length fs))
+
+let test_doc_plain_comments_exempt () =
+  (* Only (** *) doc comments are validated: a plain (* *) comment and a
+     stopped (*** *) comment may say anything. *)
+  Alcotest.(check int) "plain comments exempt" 0
+    (List.length
+       (doc_findings "(* @raises whatever *)\n(*** @raises whatever ***)\nval f : int\n"))
+
+let test_doc_rules_catalogue () =
+  Alcotest.(check (list string)) "rule ids"
+    [ "raise-malformed"; "doc-unknown-tag"; "doc-unterminated" ]
+    (List.map fst Check.Doc.rules)
+
 let () =
   Alcotest.run "check"
     [
@@ -877,5 +1099,26 @@ let () =
           Alcotest.test_case "manifest errors" `Quick test_share_manifest_errors;
           Alcotest.test_case "manifest parse" `Quick test_share_manifest_parse;
           Alcotest.test_case "rules catalogue" `Quick test_share_rules_catalogue;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "lexical depths" `Quick test_cost_depths;
+          Alcotest.test_case "quadratic-list-op" `Quick test_cost_quadratic_rule;
+          Alcotest.test_case "rebuild-in-loop" `Quick test_cost_rebuild_rule;
+          Alcotest.test_case "fixed idioms stay fixed" `Quick test_cost_fixed_idioms;
+          Alcotest.test_case "alloc-in-hot-loop" `Quick test_cost_hot_rule;
+          Alcotest.test_case "memo-unsafe" `Quick test_cost_memo_rule;
+          Alcotest.test_case "cost-manifest" `Quick test_cost_manifest_rule;
+          Alcotest.test_case "infer propagation" `Quick test_cost_infer_propagation;
+          Alcotest.test_case "rules catalogue" `Quick test_cost_rules_catalogue;
+        ] );
+      ( "doc",
+        [
+          Alcotest.test_case "clean docs silent" `Quick test_doc_clean;
+          Alcotest.test_case "raise-malformed" `Quick test_doc_raise_malformed;
+          Alcotest.test_case "doc-unknown-tag" `Quick test_doc_unknown_tag;
+          Alcotest.test_case "doc-unterminated" `Quick test_doc_unterminated;
+          Alcotest.test_case "plain comments exempt" `Quick test_doc_plain_comments_exempt;
+          Alcotest.test_case "rules catalogue" `Quick test_doc_rules_catalogue;
         ] );
     ]

@@ -189,6 +189,87 @@ let prop_box_lp =
           abs_float (objective -. !expected) < 1e-6
       | _ -> false)
 
+(* -------------------- warm starts -------------------- *)
+
+let outcomes_match a b =
+  match (a, b) with
+  | Lp.Simplex.Optimal { objective = oa; _ }, Lp.Simplex.Optimal { objective = ob; _ } ->
+      abs_float (oa -. ob) < 1e-6
+  | Lp.Simplex.Infeasible, Lp.Simplex.Infeasible -> true
+  | Lp.Simplex.Unbounded, Lp.Simplex.Unbounded -> true
+  | _ -> false
+
+let dantzig =
+  {
+    Lp.Simplex.n_vars = 2;
+    objective = [| -3.0; -5.0 |];
+    rows =
+      [
+        ([| 1.0; 0.0 |], Lp.Simplex.Le, 4.0);
+        ([| 0.0; 2.0 |], Lp.Simplex.Le, 12.0);
+        ([| 3.0; 2.0 |], Lp.Simplex.Le, 18.0);
+      ];
+  }
+
+let test_warm_same_problem () =
+  let cold, basis = Lp.Simplex.solve_with_basis dantzig in
+  let basis = match basis with Some b -> b | None -> Alcotest.fail "no basis returned" in
+  let warm, basis' = Lp.Simplex.solve_with_basis ~hint:basis dantzig in
+  Alcotest.(check bool) "warm equals cold" true (outcomes_match cold warm);
+  Alcotest.(check bool) "warm re-solve returns a basis" true (basis' <> None)
+
+let test_warm_appended_row () =
+  (* Rows are appended at the end, so the parent basis stays layout-valid
+     (slack indices shift but structural ones do not — the prefix-stability
+     contract of the mli). *)
+  let _, basis = Lp.Simplex.solve_with_basis dantzig in
+  let basis = match basis with Some b -> b | None -> Alcotest.fail "no basis" in
+  let child =
+    { dantzig with Lp.Simplex.rows = dantzig.rows @ [ ([| 1.0; 1.0 |], Lp.Simplex.Le, 5.0) ] }
+  in
+  let warm, _ = Lp.Simplex.solve_with_basis ~hint:basis child in
+  let cold = Lp.Simplex.solve child in
+  Alcotest.(check bool) "warm child equals cold child" true (outcomes_match cold warm)
+
+let test_warm_infeasible_child () =
+  let _, basis = Lp.Simplex.solve_with_basis dantzig in
+  let basis = match basis with Some b -> b | None -> Alcotest.fail "no basis" in
+  let child =
+    {
+      dantzig with
+      Lp.Simplex.rows = dantzig.rows @ [ ([| 1.0; 0.0 |], Lp.Simplex.Ge, 100.0) ]
+    }
+  in
+  let warm, warm_basis = Lp.Simplex.solve_with_basis ~hint:basis child in
+  Alcotest.(check bool) "warm detects infeasibility" true
+    (outcomes_match warm Lp.Simplex.Infeasible);
+  Alcotest.(check bool) "no basis on non-optimal" true (warm_basis = None)
+
+let prop_warm_matches_cold =
+  QCheck.Test.make ~name:"warm start matches cold solve after rhs tightening" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(2 -- 4) (float_bound_exclusive 10.0))
+        (pair (list_of_size Gen.(2 -- 4) (float_range (-5.0) 5.0)) (float_range 0.1 1.0)))
+    (fun (ubs, (costs, shrink)) ->
+      let n = min (List.length ubs) (List.length costs) in
+      QCheck.assume (n >= 2);
+      let ubs = Array.of_list (List.filteri (fun i _ -> i < n) ubs) in
+      let costs = Array.of_list (List.filteri (fun i _ -> i < n) costs) in
+      let rows_of scale =
+        List.init n (fun i ->
+            let row = Array.make n 0.0 in
+            row.(i) <- 1.0;
+            (row, Lp.Simplex.Le, scale *. (1.0 +. ubs.(i))))
+      in
+      let parent = { Lp.Simplex.n_vars = n; objective = costs; rows = rows_of 1.0 } in
+      match Lp.Simplex.solve_with_basis parent with
+      | Lp.Simplex.Optimal _, Some basis ->
+          let child = { parent with Lp.Simplex.rows = rows_of shrink } in
+          let warm, _ = Lp.Simplex.solve_with_basis ~hint:basis child in
+          outcomes_match warm (Lp.Simplex.solve child)
+      | _ -> false)
+
 let () =
   Alcotest.run "lp"
     [
@@ -202,6 +283,13 @@ let () =
           Alcotest.test_case "degenerate vertex" `Quick test_degenerate;
           Alcotest.test_case "redundant equalities" `Quick test_redundant_equalities;
           QCheck_alcotest.to_alcotest prop_box_lp;
+        ] );
+      ( "warm",
+        [
+          Alcotest.test_case "same problem" `Quick test_warm_same_problem;
+          Alcotest.test_case "appended row" `Quick test_warm_appended_row;
+          Alcotest.test_case "infeasible child" `Quick test_warm_infeasible_child;
+          QCheck_alcotest.to_alcotest prop_warm_matches_cold;
         ] );
       ( "milp",
         [

@@ -271,6 +271,54 @@ let test_precompute_structure () =
   Alcotest.(check bool) (Printf.sprintf "N = %d <= 3" n) true (n <= 3);
   Alcotest.(check bool) "N >= 2" true (n >= 2)
 
+let tables_equal a b =
+  let pa = Response.Tables.pairs a and pb = Response.Tables.pairs b in
+  pa = pb
+  && List.for_all
+       (fun (o, d) ->
+         match (Response.Tables.find a o d, Response.Tables.find b o d) with
+         | Some ea, Some eb ->
+             let la = Array.to_list (Response.Tables.paths ea) in
+             let lb = Array.to_list (Response.Tables.paths eb) in
+             List.length la = List.length lb && List.for_all2 Path.equal la lb
+         | None, None -> true
+         | _ -> false)
+       pa
+
+let test_precompute_cached_hits () =
+  Response.Framework.cache_clear ();
+  let g = Topo.Example.square_with_diagonal () in
+  let power = Power.Model.cisco12000 g in
+  let pairs = all_pairs g in
+  let s0 = Response.Framework.cache_stats () in
+  let t1 = Response.Framework.precompute_cached g power ~pairs in
+  let t2 = Response.Framework.precompute_cached g power ~pairs in
+  let s1 = Response.Framework.cache_stats () in
+  Alcotest.(check bool) "second call returns the cached tables" true (t1 == t2);
+  Alcotest.(check int) "one miss" 1 (s1.Eutil.Memo.misses - s0.Eutil.Memo.misses);
+  Alcotest.(check int) "one hit" 1 (s1.Eutil.Memo.hits - s0.Eutil.Memo.hits);
+  (* A structurally identical but physically distinct graph (and power
+     model) digests to the same key, so it hits too. *)
+  let g' = Topo.Example.square_with_diagonal () in
+  let t3 = Response.Framework.precompute_cached g' (Power.Model.cisco12000 g') ~pairs in
+  Alcotest.(check bool) "signature match hits across graph copies" true (t1 == t3);
+  (* A different config misses. *)
+  let config = { Response.Framework.default with n_paths = 4 } in
+  let t4 = Response.Framework.precompute_cached ~config g power ~pairs in
+  Alcotest.(check bool) "config change misses" true (t1 != t4)
+
+let prop_precompute_cached_equals_uncached =
+  QCheck.Test.make ~name:"precompute_cached equals precompute" ~count:8
+    QCheck.(pair (int_range 2 4) (int_range 0 2))
+    (fun (n_paths, drop) ->
+      let g = Topo.Example.square_with_diagonal () in
+      let power = Power.Model.cisco12000 g in
+      let pairs = List.filteri (fun i _ -> i >= drop) (all_pairs g) in
+      let config = { Response.Framework.default with n_paths } in
+      let cached = Response.Framework.precompute_cached ~config g power ~pairs in
+      let plain = Response.Framework.precompute ~config g power ~pairs in
+      tables_equal cached plain)
+
 let test_evaluate_energy_proportionality () =
   let t = Lazy.force geant_tables in
   let power_at total =
@@ -616,6 +664,8 @@ let () =
       ( "framework",
         [
           Alcotest.test_case "precompute structure" `Quick test_precompute_structure;
+          Alcotest.test_case "precompute_cached hits" `Quick test_precompute_cached_hits;
+          QCheck_alcotest.to_alcotest prop_precompute_cached_equals_uncached;
           Alcotest.test_case "energy proportionality" `Quick test_evaluate_energy_proportionality;
           Alcotest.test_case "activates levels" `Quick test_evaluate_activates_levels;
           Alcotest.test_case "always-on carries ~half" `Quick test_carried_fraction_always_on_about_half;

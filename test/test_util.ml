@@ -4,6 +4,7 @@ module Prng = Eutil.Prng
 module Heap = Eutil.Heap
 module Stats = Eutil.Stats
 module U = Eutil.Units
+module Memo = Eutil.Memo
 
 (* ------------------------------- units ------------------------------- *)
 
@@ -215,6 +216,64 @@ let prop_pool_matches_sequential =
       let a = Array.of_list xs in
       Pool.map_array ~jobs (fun x -> x + 1) a = Array.map (fun x -> x + 1) a)
 
+(* ------------------------------- memo ------------------------------- *)
+
+let test_memo_hit_miss_counters () =
+  let calls = ref 0 in
+  let t = Memo.create ~capacity:4 () in
+  let f k =
+    incr calls;
+    k * 10
+  in
+  Alcotest.(check int) "first call computes" 30 (Memo.find_or_add t 3 ~compute:f);
+  Alcotest.(check int) "second call cached" 30 (Memo.find_or_add t 3 ~compute:f);
+  Alcotest.(check int) "computed once" 1 !calls;
+  let s = Memo.stats t in
+  Alcotest.(check int) "one hit" 1 s.Memo.hits;
+  Alcotest.(check int) "one miss" 1 s.Memo.misses;
+  Alcotest.(check int) "no evictions" 0 s.Memo.evictions
+
+let test_memo_lru_eviction () =
+  let t = Memo.create ~capacity:2 () in
+  let f k = k in
+  ignore (Memo.find_or_add t 1 ~compute:f);
+  ignore (Memo.find_or_add t 2 ~compute:f);
+  (* Touch 1 so 2 is the least recently used entry. *)
+  ignore (Memo.find_or_add t 1 ~compute:f);
+  ignore (Memo.find_or_add t 3 ~compute:f);
+  Alcotest.(check bool) "1 survives (recently used)" true (Memo.mem t 1);
+  Alcotest.(check bool) "2 evicted (LRU)" false (Memo.mem t 2);
+  Alcotest.(check bool) "3 present" true (Memo.mem t 3);
+  Alcotest.(check int) "one eviction counted" 1 (Memo.stats t).Memo.evictions;
+  Alcotest.(check int) "length at capacity" 2 (Memo.length t)
+
+let test_memo_clear_and_errors () =
+  let t = Memo.create ~capacity:2 () in
+  ignore (Memo.find_or_add t 1 ~compute:(fun k -> k));
+  Memo.clear t;
+  Alcotest.(check int) "empty after clear" 0 (Memo.length t);
+  Alcotest.(check int) "counters survive clear" 1 (Memo.stats t).Memo.misses;
+  Alcotest.check_raises "capacity 0 rejected" (Invalid_argument "Memo.create: capacity >= 1")
+    (fun () -> ignore (Memo.create ~capacity:0 ()));
+  (* A raising computation is never cached: the next lookup recomputes. *)
+  let boom = ref true in
+  let f k =
+    if !boom then failwith "boom";
+    k
+  in
+  (try ignore (Memo.find_or_add t 9 ~compute:f) with Failure _ -> ());
+  boom := false;
+  Alcotest.(check int) "recomputed after raise" 9 (Memo.find_or_add t 9 ~compute:f)
+
+let prop_memo_bounded_and_transparent =
+  QCheck.Test.make ~name:"memo stays bounded and value-transparent" ~count:100
+    QCheck.(pair (int_range 1 8) (small_list small_int))
+    (fun (cap, keys) ->
+      let t = Memo.create ~capacity:cap () in
+      let g = Memo.wrap t (fun k -> (2 * k) + 1) in
+      List.for_all (fun k -> g k = (2 * k) + 1 && g k = (2 * k) + 1) keys
+      && Memo.length t <= cap)
+
 let () =
   Alcotest.run "util"
     [
@@ -256,5 +315,12 @@ let () =
           Alcotest.test_case "exceptions" `Quick test_pool_exceptions;
           Alcotest.test_case "default jobs" `Quick test_pool_default_jobs;
           QCheck_alcotest.to_alcotest prop_pool_matches_sequential;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "hit/miss counters" `Quick test_memo_hit_miss_counters;
+          Alcotest.test_case "LRU eviction" `Quick test_memo_lru_eviction;
+          Alcotest.test_case "clear and errors" `Quick test_memo_clear_and_errors;
+          QCheck_alcotest.to_alcotest prop_memo_bounded_and_transparent;
         ] );
     ]
