@@ -33,6 +33,7 @@ let sections : (string * (unit -> unit)) list =
     ("chaos", Extensions.chaos);
     ("parallel", Extensions.parallel);
     ("cost", Extensions.cost);
+    ("serve", Servebench.serve);
     ("micro", Micro.run);
   ]
 
@@ -75,10 +76,28 @@ let emit_json path timings total_s =
                     (Obs.Export.json_escape workload) dur)
                 ts))
   in
+  (* Loopback serving sweep ("serve" section): closed-loop throughput and
+     latency percentiles against an in-process respctld, per client
+     connection count. *)
+  let serve_json =
+    match !Servebench.serve_timings with
+    | [] -> ""
+    | ts ->
+        Printf.sprintf ",\"serve\":[%s]"
+          (String.concat ","
+             (List.map
+                (fun (conns, (r : Serve.Load.report)) ->
+                  Printf.sprintf
+                    "{\"conns\":%d,\"completed\":%d,\"failed\":%d,\"qps\":%.1f,\
+                     \"p50_ms\":%.4f,\"p90_ms\":%.4f,\"p99_ms\":%.4f}"
+                    conns r.Serve.Load.completed r.Serve.Load.failed r.Serve.Load.qps
+                    r.Serve.Load.p50_ms r.Serve.Load.p90_ms r.Serve.Load.p99_ms)
+                ts))
+  in
   let doc =
-    Printf.sprintf "{\"sections\":[%s],\"total_seconds\":%.6f%s%s,\"obs\":%s}"
+    Printf.sprintf "{\"sections\":[%s],\"total_seconds\":%.6f%s%s%s,\"obs\":%s}"
       (String.concat "," (List.map section_json timings))
-      total_s parallel_json cost_json
+      total_s parallel_json cost_json serve_json
       (String.trim (Obs.Export.to_json samples))
   in
   (match Obs.Export.validate_json doc with

@@ -1,0 +1,64 @@
+(* "serve" section: loopback sweep of the respctld serving path.
+
+   An in-process server on ephemeral ports (GEANT tables, 2 worker
+   domains) is driven closed-loop by Serve.Load at increasing connection
+   counts; throughput and latency percentiles land in serve_timings for
+   the --json report. The acceptance SLO for the daemon is at least
+   5000 req/s with p99 below 5 ms on this loopback path. *)
+
+let serve_timings : (int * Serve.Load.report) list ref = ref []
+
+let conn_sweep = [ 1; 2; 4 ]
+
+let requests_for conns = (if Report.fast then 300 else 5000) * conns
+
+let sweep_one port pairs conns =
+  let cfg =
+    {
+      Serve.Load.default with
+      Serve.Load.port;
+      conns;
+      requests = requests_for conns;
+      duration_s = 120.0;
+      pairs;
+    }
+  in
+  match Serve.Load.run cfg with
+  | Error e ->
+      Report.row "  conns %d: load error: %s@." conns e;
+      None
+  | Ok r ->
+      Report.row "  conns %d: %8.0f req/s   p50 %.3f ms  p90 %.3f ms  p99 %.3f ms  (%d/%d ok)@."
+        conns r.Serve.Load.qps r.Serve.Load.p50_ms r.Serve.Load.p90_ms r.Serve.Load.p99_ms
+        r.Serve.Load.completed r.Serve.Load.sent;
+      Some (conns, r)
+
+let serve () =
+  Report.section "serve: respctld loopback wire-protocol sweep (GEANT)";
+  serve_timings := [];
+  let g = Topo.Geant.make () in
+  let power = Power.Model.cisco12000 g in
+  let pairs = Traffic.Gravity.random_node_pairs g ~seed:7 ~fraction:0.7 in
+  let demand = Traffic.Gravity.make g ~pairs ~total:(Eutil.Units.gbps 5.0) () in
+  let config = Response.Framework.default in
+  match Serve.State.create ~config ~jobs:1 g power ~pairs ~demand with
+  | exception Invalid_argument msg -> Report.row "  setup failed: %s@." msg
+  | state -> (
+      let sconfig = { Serve.Server.default_config with port = 0; http_port = 0; workers = 2 } in
+      match Serve.Server.start ~config:sconfig state with
+      | exception Unix.Unix_error (err, _, _) ->
+          Serve.State.stop state;
+          Report.row "  cannot listen: %s@." (Unix.error_message err)
+      | server ->
+          let port = Serve.Server.port server in
+          let parr = Array.of_list pairs in
+          List.iter
+            (fun conns ->
+              match sweep_one port parr conns with
+              | Some entry -> serve_timings := entry :: !serve_timings
+              | None -> ())
+            conn_sweep;
+          Serve.Server.stop server;
+          Serve.State.stop state;
+          serve_timings := List.rev !serve_timings;
+          Report.note "closed-loop over loopback TCP; SLO: >= 5000 req/s with p99 < 5 ms")

@@ -8,50 +8,7 @@
 
 open Cmdliner
 
-type named_topology = {
-  tname : string;
-  graph : Topo.Graph.t lazy_t;
-  model : [ `Cisco | `Commodity ];
-}
-
-let topologies =
-  [
-    { tname = "geant"; graph = lazy (Topo.Geant.make ()); model = `Cisco };
-    {
-      tname = "abovenet";
-      graph = lazy (Topo.Rocketfuel.make Topo.Rocketfuel.abovenet);
-      model = `Cisco;
-    };
-    {
-      tname = "genuity";
-      graph = lazy (Topo.Rocketfuel.make Topo.Rocketfuel.genuity);
-      model = `Cisco;
-    };
-    { tname = "pop-access"; graph = lazy (Topo.Pop_access.make ()); model = `Cisco };
-    {
-      tname = "fattree4";
-      graph = lazy (Topo.Fattree.make 4).Topo.Fattree.graph;
-      model = `Commodity;
-    };
-    {
-      tname = "fattree8";
-      graph = lazy (Topo.Fattree.make 8).Topo.Fattree.graph;
-      model = `Commodity;
-    };
-  ]
-
-let find_topology name =
-  match List.find_opt (fun t -> t.tname = name) topologies with
-  | Some t -> Ok t
-  | None ->
-      Error
-        (Printf.sprintf "unknown topology %S (available: %s)" name
-           (String.concat ", " (List.map (fun t -> t.tname) topologies)))
-
-let power_of t g =
-  match t.model with
-  | `Cisco -> Power.Model.cisco12000 g
-  | `Commodity -> Power.Model.commodity_dc g
+open Cli_topo
 
 let topology_arg =
   let doc = "Topology name (geant, abovenet, genuity, pop-access, fattree4, fattree8)." in
@@ -81,15 +38,6 @@ let jobs_arg =
           "Fan certified parallel loops out over $(docv) domains (Eutil.Pool). Output is \
            byte-identical for any $(docv).")
 
-let pairs_of g ~seed ~fraction = Traffic.Gravity.random_node_pairs g ~seed ~fraction
-
-let with_topology name f =
-  match find_topology name with
-  | Error e ->
-      prerr_endline e;
-      1
-  | Ok t -> f t (Lazy.force t.graph)
-
 (* ------------------------- observability dump ------------------------ *)
 
 let metrics_enum = [ ("text", `Text); ("json", `Json); ("prom", `Prom) ]
@@ -102,11 +50,12 @@ let metrics_opt_arg =
         ~doc:"Enable observability for the run and dump the collected metrics (text, json or prom).")
 
 let render_metrics fmt =
-  let samples = Obs.Registry.snapshot Obs.Registry.default in
   match fmt with
-  | `Text -> Obs.Export.to_text samples
-  | `Json -> Obs.Export.to_json samples
-  | `Prom -> Obs.Export.to_prometheus samples
+  | `Text -> Obs.Export.to_text (Obs.Registry.snapshot Obs.Registry.default)
+  | `Json -> Obs.Export.to_json (Obs.Registry.snapshot Obs.Registry.default)
+  (* Shared with respctld's scrape endpoint so the two outputs can never
+     drift (pinned by a test). *)
+  | `Prom -> Obs.Export.prometheus_page ()
 
 let obs_enable_for = function Some _ -> Obs.set_enabled true | None -> ()
 
@@ -812,6 +761,142 @@ let export_cmd =
   Cmd.v (Cmd.info "export" ~doc)
     Term.(const run $ topology_arg $ seed_arg $ fraction_arg $ format_arg $ days_arg)
 
+(* ------------------------------- query ------------------------------ *)
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"respctld address (an IP literal).")
+
+let port_arg =
+  Arg.(value & opt int 4710 & info [ "port" ] ~docv:"PORT" ~doc:"respctld binary-protocol port.")
+
+let query_cmd =
+  let origin_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"ORIGIN" ~doc:"Origin node name.")
+  in
+  let dest_arg =
+    Arg.(
+      required & pos 2 (some string) None & info [] ~docv:"DEST" ~doc:"Destination node name.")
+  in
+  let run name origin dest host port =
+    with_topology name (fun _t g ->
+        match (Topo.Graph.node_of_name g origin, Topo.Graph.node_of_name g dest) with
+        | exception Invalid_argument msg ->
+            Format.eprintf "query: %s@." msg;
+            2
+        | o, d -> (
+            match Serve.Client.connect ~host ~port () with
+            | Error e ->
+                Format.eprintf "query: %s@." e;
+                2
+            | Ok c -> (
+                let reply = Serve.Client.call c (Serve.Wire.Path_query { origin = o; dest = d }) in
+                Serve.Client.close c;
+                match reply with
+                | Error e ->
+                    Format.eprintf "query: %s@." e;
+                    2
+                | Ok (Serve.Wire.Path_reply { status = Serve.Wire.Path_ok; level; nodes }) ->
+                    Format.printf "%s -> %s: level %d, %s@." origin dest level
+                      (String.concat "-" (List.map (Topo.Graph.name g) nodes));
+                    0
+                | Ok (Serve.Wire.Path_reply { status = Serve.Wire.Unknown_pair; _ }) ->
+                    Format.printf "%s -> %s: no installed tables for this pair@." origin dest;
+                    1
+                | Ok (Serve.Wire.Path_reply { status = Serve.Wire.No_usable_path; _ }) ->
+                    Format.printf "%s -> %s: every installed path crosses a failed link@." origin
+                      dest;
+                    1
+                | Ok (Serve.Wire.Error_reply { message; _ }) ->
+                    Format.eprintf "query: server rejected the request: %s@." message;
+                    1
+                | Ok _ ->
+                    Format.eprintf "query: unexpected reply type@.";
+                    1)))
+  in
+  let doc = "Ask a running respctld which installed path a pair uses right now." in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(const run $ topology_arg $ origin_arg $ dest_arg $ host_arg $ port_arg)
+
+(* ------------------------------- load ------------------------------- *)
+
+let load_cmd =
+  let conns_arg =
+    Arg.(value & opt int 4 & info [ "conns" ] ~docv:"N" ~doc:"Concurrent closed-loop connections.")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "rate" ] ~docv:"QPS" ~doc:"Target aggregate request rate (0 = open throttle).")
+  in
+  let duration_arg =
+    Arg.(value & opt float 3.0 & info [ "duration" ] ~docv:"S" ~doc:"Seconds to keep issuing.")
+  in
+  let requests_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Fixed request count; when positive it overrides $(b,--duration).")
+  in
+  let reload_at_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "reload-at" ] ~docv:"S"
+          ~doc:
+            "Send a reload over a control connection this many seconds into the run (hot-swap \
+             under load).")
+  in
+  let slo_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slo-p99" ] ~docv:"MS"
+          ~doc:"Exit non-zero if the p99 query latency exceeds $(docv) milliseconds.")
+  in
+  let run name host port conns rate duration requests reload_at slo seed fraction json =
+    with_topology name (fun _t g ->
+        let pairs = Array.of_list (pairs_of g ~seed ~fraction) in
+        let cfg =
+          {
+            Serve.Load.host;
+            port;
+            conns;
+            rate;
+            duration_s = duration;
+            requests;
+            pairs;
+            reload_at;
+          }
+        in
+        match Serve.Load.run cfg with
+        | Error e ->
+            Format.eprintf "load: %s@." e;
+            2
+        | Ok r ->
+            if json then print_string (Serve.Load.to_json r ^ "\n")
+            else Format.printf "%a@." Serve.Load.pp r;
+            let slo_violated =
+              match slo with Some budget -> r.Serve.Load.p99_ms > budget | None -> false
+            in
+            if slo_violated then
+              Format.eprintf "load: p99 %.3f ms exceeds the %.3f ms SLO@." r.Serve.Load.p99_ms
+                (Option.value slo ~default:0.0);
+            if r.Serve.Load.failed > 0 || r.Serve.Load.wrong > 0 || slo_violated then 1 else 0)
+  in
+  let doc =
+    "Drive a running respctld with a closed-loop workload and report delivered QPS and exact \
+     latency percentiles, optionally enforcing a p99 SLO."
+  in
+  Cmd.v (Cmd.info "load" ~doc)
+    Term.(
+      const run $ topology_arg $ host_arg $ port_arg $ conns_arg $ rate_arg $ duration_arg
+      $ requests_arg $ reload_at_arg $ slo_arg $ seed_arg $ fraction_arg $ json_arg)
+
 let () =
   let doc = "REsPoNse: identifying and using energy-critical paths" in
   let info = Cmd.info "respctl" ~version:"1.0.0" ~doc in
@@ -820,5 +905,5 @@ let () =
        (Cmd.group info
           [
             topo_cmd; tables_cmd; power_cmd; replay_cmd; chaos_cmd; stats_cmd; export_cmd;
-            lint_cmd; analyze_cmd; check_cmd; doc_cmd;
+            query_cmd; load_cmd; lint_cmd; analyze_cmd; check_cmd; doc_cmd;
           ]))

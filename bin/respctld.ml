@@ -1,0 +1,185 @@
+(* respctld — the REsPoNse control-plane daemon.
+
+   respctld geant                          # serve on 4710 (metrics on 4711)
+   respctld geant --port 0 --http-port 0  # ephemeral ports, printed at startup
+   respctld geant --smoke 200             # in-process smoke session, then exit
+*)
+
+open Cmdliner
+
+let stop_flag = Atomic.make false
+
+let install_signal_handlers () =
+  let handler _ = Atomic.set stop_flag true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle handler);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle handler)
+
+(* Daemon mode: sit on the flag until SIGINT/SIGTERM. *)
+let wait_for_stop () =
+  let rec loop () =
+    if Atomic.get stop_flag then ()
+    else begin
+      (try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ();
+  0
+
+(* Smoke mode (the @serve alias): a fixed-seed end-to-end session against
+   our own loopback listeners — closed-loop queries with a mid-run
+   reload, a /metrics + /healthz scrape, and a JSON-export validation —
+   then a graceful shutdown. Exit 0 only if nothing failed or dropped. *)
+let run_smoke server pairs n =
+  let cfg =
+    {
+      Serve.Load.default with
+      Serve.Load.port = Serve.Server.port server;
+      conns = 2;
+      requests = n;
+      duration_s = 30.0;
+      pairs;
+      reload_at = Some 0.0;
+    }
+  in
+  match Serve.Load.run cfg with
+  | Error e ->
+      Format.eprintf "smoke: %s@." e;
+      1
+  | Ok r ->
+      Format.printf "smoke: %a@." Serve.Load.pp r;
+      let http_port = Serve.Server.http_port server in
+      let scrape = Serve.Client.http_get ~port:http_port ~path:"/metrics" () in
+      let health = Serve.Client.http_get ~port:http_port ~path:"/healthz" () in
+      let json_ok = Obs.Export.validate_json (Obs.Export.to_json (Obs.Registry.snapshot Obs.Registry.default)) in
+      let load_json_ok = Obs.Export.validate_json (Serve.Load.to_json r) in
+      let problems =
+        List.concat
+          [
+            (if r.Serve.Load.completed <> n then
+               [ Printf.sprintf "completed %d of %d queries" r.Serve.Load.completed n ]
+             else []);
+            (if r.Serve.Load.failed > 0 then [ Printf.sprintf "%d failed" r.Serve.Load.failed ]
+             else []);
+            (if r.Serve.Load.wrong > 0 then
+               [ Printf.sprintf "%d wrong replies" r.Serve.Load.wrong ]
+             else []);
+            (if r.Serve.Load.reloads <> 1 then [ "mid-run reload was not acknowledged" ] else []);
+            (match scrape with
+            | Ok body when String.length body > 0 -> []
+            | Ok _ -> [ "/metrics returned an empty page" ]
+            | Error e -> [ "/metrics scrape failed: " ^ e ]);
+            (match health with Ok _ -> [] | Error e -> [ "/healthz failed: " ^ e ]);
+            (match json_ok with Ok () -> [] | Error e -> [ "metrics JSON invalid: " ^ e ]);
+            (match load_json_ok with Ok () -> [] | Error e -> [ "load JSON invalid: " ^ e ]);
+          ]
+      in
+      List.iter (fun p -> Format.eprintf "smoke: %s@." p) problems;
+      if problems = [] then begin
+        Format.printf "smoke: ok (%d queries, 1 reload, scrape + JSON export valid)@." n;
+        0
+      end
+      else 1
+
+let serve name port http_port workers seed fraction beta load_gbps jobs smoke =
+  Cli_topo.with_topology name (fun t g ->
+      Obs.set_enabled true;
+      install_signal_handlers ();
+      let power = Cli_topo.power_of t g in
+      let pairs = Cli_topo.pairs_of g ~seed ~fraction in
+      let config = { Response.Framework.default with latency_beta = beta } in
+      let demand = Traffic.Gravity.make g ~pairs ~total:(Eutil.Units.gbps load_gbps) () in
+      match Serve.State.create ~config ~jobs g power ~pairs ~demand with
+      | exception Invalid_argument msg ->
+          Format.eprintf "respctld: initial tables: %s@." msg;
+          1
+      | state ->
+          let sconfig = { Serve.Server.default_config with port; http_port; workers } in
+          (match Serve.Server.start ~config:sconfig state with
+          | exception Unix.Unix_error (err, _, _) ->
+              Serve.State.stop state;
+              Format.eprintf "respctld: cannot listen: %s@." (Unix.error_message err);
+              1
+          | server ->
+              Format.printf
+                "respctld: serving %s on 127.0.0.1:%d (metrics on :%d), %d worker(s), %d pairs@."
+                t.Cli_topo.tname (Serve.Server.port server)
+                (Serve.Server.http_port server)
+                workers (List.length pairs);
+              let code =
+                match smoke with
+                | Some n -> run_smoke server (Array.of_list pairs) n
+                | None -> wait_for_stop ()
+              in
+              Serve.Server.stop server;
+              Serve.State.stop state;
+              (* Final metrics dump on the way out: the scrape endpoint is
+                 gone, so the numbers land in the log instead. *)
+              (match smoke with
+              | None ->
+                  Format.printf "respctld: served %d request(s); final metrics:@."
+                    (Serve.Server.served server);
+                  print_string (Obs.Export.prometheus_page ())
+              | Some _ -> ());
+              code))
+
+let port_arg =
+  Arg.(
+    value & opt int 4710 & info [ "port" ] ~docv:"PORT" ~doc:"Binary protocol port (0 = ephemeral).")
+
+let http_port_arg =
+  Arg.(
+    value
+    & opt int 4711
+    & info [ "http-port" ] ~docv:"PORT" ~doc:"Metrics/health scrape port (0 = ephemeral).")
+
+let workers_arg =
+  Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc:"Connection worker domains.")
+
+let seed_arg =
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for sampled pairs.")
+
+let fraction_arg =
+  Arg.(
+    value
+    & opt float 0.7
+    & info [ "fraction" ] ~docv:"F" ~doc:"Fraction of traffic nodes used as origins/destinations.")
+
+let beta_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "beta" ] ~docv:"BETA" ~doc:"REsPoNse-lat latency bound (e.g. 0.25).")
+
+let load_arg =
+  Arg.(
+    value
+    & opt float 5.0
+    & info [ "load-gbps" ] ~docv:"GBPS" ~doc:"Initial gravity-model offered load in Gbit/s.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc:"Fan each table rebuild out over $(docv) domains.")
+
+let smoke_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "smoke" ] ~docv:"N"
+        ~doc:
+          "Self-test mode: run $(docv) loopback queries plus a mid-run reload and a metrics \
+           scrape in-process, then shut down and exit (0 = everything answered).")
+
+let topology_arg =
+  let doc = "Topology name (geant, abovenet, genuity, pop-access, fattree4, fattree8)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TOPOLOGY" ~doc)
+
+let () =
+  let doc = "REsPoNse control-plane daemon: precomputed energy-critical paths behind a wire protocol" in
+  let info = Cmd.info "respctld" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.v info
+          Term.(
+            const serve $ topology_arg $ port_arg $ http_port_arg $ workers_arg $ seed_arg
+            $ fraction_arg $ beta_arg $ load_arg $ jobs_arg $ smoke_arg)))

@@ -297,3 +297,8 @@ let validate_json s =
   | i when i = n -> Ok ()
   | i -> Error (Printf.sprintf "trailing garbage at byte %d" i)
   | exception Bad (i, msg) -> Error (Printf.sprintf "%s at byte %d" msg i)
+
+(* The one Prometheus page: respctl's [stats --metrics prom] and
+   respctld's [GET /metrics] both render through here, so the two
+   surfaces can never drift apart (pinned by a regression test). *)
+let prometheus_page ?(registry = Registry.default) () = to_prometheus (Registry.snapshot registry)

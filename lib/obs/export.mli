@@ -32,3 +32,9 @@ val validate_json : string -> (unit, string) result
     escapes, numbers, literals; the whole input must be one value).
     [Error msg] carries a byte offset. Used by [respctl stats --validate]
     and the exporter tests to prove the JSON export parses. *)
+
+val prometheus_page : ?registry:Registry.t -> unit -> string
+(** [to_prometheus] of a fresh snapshot of [registry] (default
+    {!Registry.default}): the single rendering used by both the
+    [respctl stats --metrics prom] CLI and respctld's [GET /metrics]
+    scrape endpoint, so their bytes are identical by construction. *)

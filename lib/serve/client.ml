@@ -1,0 +1,114 @@
+type t = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;  (* reusable read chunk *)
+  inbuf : Buffer.t;  (* undecoded reply bytes *)
+  mutable alive : bool;
+}
+
+let chunk = 8192
+
+let connect ?(host = "127.0.0.1") ~port () =
+  match Unix.inet_addr_of_string host with
+  | exception Failure _ -> Error (Printf.sprintf "not an IPv4/IPv6 literal: %s" host)
+  | addr -> (
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
+      | () ->
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error (_e, _, _) -> ());
+          Ok { fd; buf = Bytes.create chunk; inbuf = Buffer.create 256; alive = true }
+      | exception Unix.Unix_error (err, _, _) ->
+          (try Unix.close fd with Unix.Unix_error (_e, _, _) -> ());
+          Error (Printf.sprintf "connect %s:%d: %s" host port (Unix.error_message err)))
+
+let close t =
+  if t.alive then begin
+    t.alive <- false;
+    try Unix.close t.fd with Unix.Unix_error (_e, _, _) -> ()
+  end
+
+let write_all t s =
+  let n = String.length s in
+  let rec loop off =
+    if off >= n then Ok ()
+    else
+      match Unix.write_substring t.fd s off (n - off) with
+      | written -> loop (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop off
+      | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+  in
+  loop 0
+
+let rec read_reply t =
+  let data = Buffer.contents t.inbuf in
+  match Wire.decode_response data with
+  | Ok (resp, next) ->
+      let len = String.length data in
+      Buffer.clear t.inbuf;
+      Buffer.add_substring t.inbuf data next (len - next);
+      Ok resp
+  | Error Wire.Truncated -> (
+      match Unix.read t.fd t.buf 0 (Bytes.length t.buf) with
+      | 0 -> Error "connection closed by server"
+      | n ->
+          Buffer.add_subbytes t.inbuf t.buf 0 n;
+          read_reply t
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_reply t
+      | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err))
+  | Error e -> Error (Wire.error_to_string e)
+
+let call t req =
+  if not t.alive then Error "connection already closed"
+  else
+    match write_all t (Wire.encode_request req) with
+    | Error e -> Error e
+    | Ok () -> read_reply t
+
+(* ------------------------------- http ------------------------------ *)
+
+let header_end raw =
+  let n = String.length raw in
+  let rec scan i =
+    if i + 3 >= n then None
+    else if raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r' && raw.[i + 3] = '\n'
+    then Some (i + 4)
+    else scan (i + 1)
+  in
+  scan 0
+
+let parse_http raw =
+  match header_end raw with
+  | None -> Error "malformed HTTP response: no header terminator"
+  | Some body_at -> (
+      match String.index_opt raw ' ' with
+      | None -> Error "malformed HTTP status line"
+      | Some sp ->
+          let code_end =
+            match String.index_from_opt raw (sp + 1) ' ' with Some j -> j | None -> body_at
+          in
+          let code = String.sub raw (sp + 1) (code_end - sp - 1) in
+          if String.equal code "200" then
+            Ok (String.sub raw body_at (String.length raw - body_at))
+          else Error ("HTTP status " ^ code))
+
+let slurp t =
+  let rec go () =
+    match Unix.read t.fd t.buf 0 (Bytes.length t.buf) with
+    | 0 -> Ok (Buffer.contents t.inbuf)
+    | n ->
+        Buffer.add_subbytes t.inbuf t.buf 0 n;
+        go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+  in
+  go ()
+
+let http_get ?(host = "127.0.0.1") ~port ~path () =
+  match connect ~host ~port () with
+  | Error e -> Error e
+  | Ok t -> (
+      let request = Printf.sprintf "GET %s HTTP/1.0\r\nHost: %s\r\n\r\n" path host in
+      let raw =
+        match write_all t request with Error e -> Error e | Ok () -> slurp t
+      in
+      close t;
+      match raw with Error e -> Error e | Ok raw -> parse_http raw)

@@ -1,0 +1,23 @@
+(** Blocking respctld client: one TCP connection, strict
+    request-then-response, used by [respctl query] and as the per-probe
+    primitive of simple harnesses ({!Load} multiplexes its own sockets).
+
+    Errors (refused connection, mid-read EOF, malformed reply) come back
+    as [Error msg]; the only exceptions escaping are the programmer
+    errors {!Wire.encode_request} documents. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> (t, string) result
+(** TCP connect with [TCP_NODELAY]; [host] defaults to 127.0.0.1. *)
+
+val call : t -> Wire.request -> (Wire.response, string) result
+(** Sends one frame and blocks for the matching reply. After an
+    [Error _] the connection state is undefined; {!close} it. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val http_get : ?host:string -> port:int -> path:string -> unit -> (string, string) result
+(** One-shot HTTP/1.0 GET against the scrape endpoint; returns the body
+    of a 200, [Error _] on any other status or transport failure. *)

@@ -1,0 +1,357 @@
+type config = {
+  host : string;
+  port : int;
+  conns : int;
+  rate : float;
+  duration_s : float;
+  requests : int;
+  pairs : (int * int) array;
+  reload_at : float option;
+}
+
+let default =
+  {
+    host = "127.0.0.1";
+    port = 4710;
+    conns = 4;
+    rate = 0.0;
+    duration_s = 3.0;
+    requests = 0;
+    pairs = [||];
+    reload_at = None;
+  }
+
+type report = {
+  sent : int;
+  completed : int;
+  failed : int;
+  wrong : int;
+  reloads : int;
+  duration_s : float;
+  qps : float;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+(* --------------------------- sample buffer ------------------------- *)
+
+type samples = { mutable data : float array; mutable len : int }
+
+let samples_create () = { data = Array.make 1024 0.0; len = 0 }
+
+let samples_push s x =
+  if s.len = Array.length s.data then begin
+    let bigger = Array.make (2 * s.len) 0.0 in
+    Array.blit s.data 0 bigger 0 s.len;
+    s.data <- bigger
+  end;
+  s.data.(s.len) <- x;
+  s.len <- s.len + 1
+
+(* Exact percentile (nearest-rank) of the recorded samples. *)
+let samples_sorted s =
+  let a = Array.sub s.data 0 s.len in
+  Array.sort Float.compare a;
+  a
+
+let rank sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let idx = int_of_float (Float.ceil (q *. float_of_int n)) - 1 in
+    let idx = if idx < 0 then 0 else if idx >= n then n - 1 else idx in
+    sorted.(idx)
+  end
+
+(* ------------------------------ sockets ---------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  control : bool;
+  mutable outstanding : bool;
+  mutable sent_at : float;
+  mutable dead : bool;
+}
+
+let open_conn cfg ~control =
+  match Unix.inet_addr_of_string cfg.host with
+  | exception Failure _ -> Error (Printf.sprintf "not an address literal: %s" cfg.host)
+  | addr -> (
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_INET (addr, cfg.port)) with
+      | () ->
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error (_e, _, _) -> ());
+          Ok
+            {
+              fd;
+              inbuf = Buffer.create 256;
+              control;
+              outstanding = false;
+              sent_at = 0.0;
+              dead = false;
+            }
+      | exception Unix.Unix_error (err, _, _) ->
+          (try Unix.close fd with Unix.Unix_error (_e, _, _) -> ());
+          Error (Printf.sprintf "connect %s:%d: %s" cfg.host cfg.port (Unix.error_message err)))
+
+let kill c =
+  if not c.dead then begin
+    c.dead <- true;
+    c.outstanding <- false;
+    try Unix.close c.fd with Unix.Unix_error (_e, _, _) -> ()
+  end
+
+let write_frame c payload =
+  let n = String.length payload in
+  let rec loop off =
+    if off >= n then true
+    else
+      match Unix.write_substring c.fd payload off (n - off) with
+      | written -> loop (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop off
+  in
+  try loop 0 with Unix.Unix_error (_e, _, _) -> false
+
+(* ------------------------------ the run ---------------------------- *)
+
+type run_state = {
+  cfg : config;
+  conns : conn array;  (* measurement connections *)
+  ctl : conn option;  (* reload channel *)
+  rd : Bytes.t;
+  lat : samples;
+  start : float;
+  mutable sent : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable wrong : int;
+  mutable reloads : int;
+  mutable reload_pending : bool;
+  mutable next_pair : int;
+  mutable last_done : float;
+}
+
+let now () = Unix.gettimeofday ()
+
+let issuing_over rs now =
+  if rs.cfg.requests > 0 then rs.sent >= rs.cfg.requests
+  else now -. rs.start >= rs.cfg.duration_s
+
+(* Closed-loop send: one query per idle live connection, paced so that
+   request k is not issued before start + k/rate when a rate is set. *)
+let maybe_send rs c t =
+  if
+    (not c.dead) && (not c.outstanding) && (not (issuing_over rs t))
+    && (rs.cfg.rate <= 0.0
+       || t -. rs.start >= float_of_int rs.sent /. Float.max 1.0 rs.cfg.rate)
+  then begin
+    let origin, dest = rs.cfg.pairs.(rs.next_pair) in
+    rs.next_pair <- (rs.next_pair + 1) mod Array.length rs.cfg.pairs;
+    if write_frame c (Wire.encode_request (Wire.Path_query { origin; dest })) then begin
+      c.outstanding <- true;
+      c.sent_at <- now ();
+      rs.sent <- rs.sent + 1
+    end
+    else begin
+      rs.failed <- rs.failed + 1;
+      kill c
+    end
+  end
+
+let maybe_reload rs t =
+  match rs.ctl with
+  | Some ctl
+    when rs.reload_pending && (not ctl.outstanding) && (not ctl.dead)
+         && (match rs.cfg.reload_at with Some at -> t -. rs.start >= at | None -> false) ->
+      if write_frame ctl (Wire.encode_request Wire.Reload) then begin
+        ctl.outstanding <- true;
+        rs.reload_pending <- false
+      end
+      else kill ctl
+  | _ -> ()
+
+let record_reply rs c resp =
+  if c.control then begin
+    match resp with
+    | Wire.Ack _ -> rs.reloads <- rs.reloads + 1
+    | _ -> rs.wrong <- rs.wrong + 1
+  end
+  else begin
+    (match resp with
+    | Wire.Path_reply _ ->
+        rs.completed <- rs.completed + 1;
+        samples_push rs.lat ((now () -. c.sent_at) *. 1000.0)
+    | Wire.Error_reply _ -> rs.failed <- rs.failed + 1
+    | _ -> rs.wrong <- rs.wrong + 1);
+    rs.last_done <- now ()
+  end
+
+let read_conn rs c =
+  match Unix.read c.fd rs.rd 0 (Bytes.length rs.rd) with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error (_e, _, _) ->
+      if c.outstanding then rs.failed <- rs.failed + 1;
+      kill c
+  | 0 ->
+      if c.outstanding then rs.failed <- rs.failed + 1;
+      kill c
+  | n -> (
+      Buffer.add_subbytes c.inbuf rs.rd 0 n;
+      let data = Buffer.contents c.inbuf in
+      match Wire.decode_response data with
+      | Error Wire.Truncated -> ()
+      | Error _ ->
+          if c.outstanding then rs.failed <- rs.failed + 1;
+          kill c
+      | Ok (resp, next) ->
+          let len = String.length data in
+          Buffer.clear c.inbuf;
+          Buffer.add_substring c.inbuf data next (len - next);
+          c.outstanding <- false;
+          record_reply rs c resp)
+
+let conn_of_fd rs fd =
+  let n = Array.length rs.conns in
+  let rec find i =
+    if i >= n then rs.ctl
+    else if rs.conns.(i).fd = fd && not rs.conns.(i).dead then Some rs.conns.(i)
+    else find (i + 1)
+  in
+  find 0
+
+let select_fds rs =
+  let base =
+    match rs.ctl with Some c when c.outstanding && not c.dead -> [ c.fd ] | _ -> []
+  in
+  Array.fold_left
+    (fun acc c -> if c.outstanding && not c.dead then c.fd :: acc else acc)
+    base rs.conns
+
+let live_conns rs =
+  Array.fold_left (fun acc c -> if c.dead then acc else acc + 1) 0 rs.conns
+
+let outstanding rs =
+  Array.fold_left (fun acc c -> if c.outstanding then acc + 1 else acc) 0 rs.conns
+
+(* Drain straggler grace after issuing stops. *)
+let drain_grace_s = 2.0
+
+let finished rs t =
+  let drained = outstanding rs = 0 && not rs.reload_pending in
+  if live_conns rs = 0 then true
+  else if rs.cfg.requests > 0 then
+    rs.completed + rs.failed + rs.wrong >= rs.cfg.requests
+    || (issuing_over rs t && drained)
+  else
+    (issuing_over rs t && drained)
+    || t -. rs.start >= rs.cfg.duration_s +. drain_grace_s
+
+let step rs =
+  let t = now () in
+  maybe_reload rs t;
+  Array.iter (fun c -> maybe_send rs c t) rs.conns;
+  match Unix.select (select_fds rs) [] [] 0.01 with
+  | exception Unix.Unix_error (_e, _, _) -> ()
+  | readable, _, _ ->
+      List.iter
+        (fun fd -> match conn_of_fd rs fd with Some c -> read_conn rs c | None -> ())
+        readable
+
+let rec drive rs = if finished rs (now ()) then () else begin step rs; drive rs end
+
+let make_report rs =
+  let stop = if rs.last_done > rs.start then rs.last_done else now () in
+  let dur = stop -. rs.start in
+  let sorted = samples_sorted rs.lat in
+  {
+    sent = rs.sent;
+    completed = rs.completed;
+    failed = rs.failed;
+    wrong = rs.wrong;
+    reloads = rs.reloads;
+    duration_s = dur;
+    qps = float_of_int rs.completed /. Float.max 0.000001 dur;
+    p50_ms = rank sorted 0.50;
+    p90_ms = rank sorted 0.90;
+    p99_ms = rank sorted 0.99;
+    max_ms = rank sorted 1.0;
+  }
+
+let open_all (cfg : config) =
+  let n = max 1 cfg.conns in
+  let rec go acc i =
+    if i >= n then Ok (List.rev acc)
+    else
+      match open_conn cfg ~control:false with
+      | Ok c -> go (c :: acc) (i + 1)
+      | Error e ->
+          List.iter kill acc;
+          Error e
+  in
+  match go [] 0 with Ok l -> Ok (Array.of_list l) | Error e -> Error e
+
+let run (cfg : config) =
+  if Array.length cfg.pairs = 0 then Error "no origin/destination pairs to query"
+  else if cfg.port <= 0 then Error "server port must be positive"
+  else if cfg.requests <= 0 && cfg.duration_s <= 0.0 then
+    Error "either a duration or a request count is required"
+  else
+    match open_all cfg with
+    | Error e -> Error e
+    | Ok conns -> (
+        let ctl =
+          match cfg.reload_at with
+          | None -> Ok None
+          | Some _ -> (
+              match open_conn cfg ~control:true with
+              | Ok c -> Ok (Some c)
+              | Error e -> Error e)
+        in
+        match ctl with
+        | Error e ->
+            Array.iter kill conns;
+            Error e
+        | Ok ctl ->
+            let rs =
+              {
+                cfg;
+                conns;
+                ctl;
+                rd = Bytes.create 65536;
+                lat = samples_create ();
+                start = now ();
+                sent = 0;
+                completed = 0;
+                failed = 0;
+                wrong = 0;
+                reloads = 0;
+                reload_pending = (match cfg.reload_at with Some _ -> true | None -> false);
+                next_pair = 0;
+                last_done = 0.0;
+              }
+            in
+            drive rs;
+            Array.iter kill rs.conns;
+            (match rs.ctl with Some c -> kill c | None -> ());
+            Ok (make_report rs))
+
+(* ------------------------------ output ----------------------------- *)
+
+let json_num x = if Float.is_finite x then Printf.sprintf "%.6f" x else "null"
+
+let to_json (r : report) =
+  Printf.sprintf
+    "{\"sent\":%d,\"completed\":%d,\"failed\":%d,\"wrong\":%d,\"reloads\":%d,\
+     \"duration_s\":%s,\"qps\":%s,\"p50_ms\":%s,\"p90_ms\":%s,\"p99_ms\":%s,\"max_ms\":%s}"
+    r.sent r.completed r.failed r.wrong r.reloads (json_num r.duration_s) (json_num r.qps)
+    (json_num r.p50_ms) (json_num r.p90_ms) (json_num r.p99_ms) (json_num r.max_ms)
+
+let pp fmt (r : report) =
+  Format.fprintf fmt
+    "@[<v>sent %d, completed %d, failed %d, wrong %d, reloads %d@,\
+     %.2f s, %.0f req/s@,latency ms: p50 %.3f  p90 %.3f  p99 %.3f  max %.3f@]"
+    r.sent r.completed r.failed r.wrong r.reloads r.duration_s r.qps r.p50_ms r.p90_ms
+    r.p99_ms r.max_ms

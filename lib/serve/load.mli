@@ -1,0 +1,52 @@
+(** Closed-loop load generator for respctld: [conns] concurrent
+    connections, each with exactly one outstanding [path_query] (the
+    classic closed-loop model, so offered load never outruns the server
+    by more than [conns] requests), multiplexed from one domain with
+    [select]. An optional rate cap paces sends against the shared run
+    clock; an optional mid-run [reload] goes over a dedicated control
+    connection so measurement connections never stall on it.
+
+    Latencies are recorded per reply and reported as exact percentiles
+    of the full sample set (no histogram error) — the numbers behind the
+    serve section of [BENCH_baseline.json] and the [respctl load] SLO
+    gate. *)
+
+type config = {
+  host : string;
+  port : int;
+  conns : int;  (** concurrent connections (floored at 1) *)
+  rate : float;  (** target aggregate QPS; 0 = open throttle *)
+  duration_s : float;  (** timed mode: stop issuing after this long *)
+  requests : int;  (** when > 0, fixed-count mode overrides the timer *)
+  pairs : (int * int) array;  (** origin/dest cycle, in order *)
+  reload_at : float option;  (** seconds into the run *)
+}
+
+val default : config
+(** Loopback port 4710, 4 connections, open throttle, 3 s, no reload;
+    [pairs] is empty and must be provided. *)
+
+type report = {
+  sent : int;
+  completed : int;  (** path replies received (any status) *)
+  failed : int;  (** transport failures + server error replies *)
+  wrong : int;  (** replies of an unexpected type *)
+  reloads : int;  (** acknowledged mid-run reloads *)
+  duration_s : float;
+  qps : float;  (** completed / duration *)
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+val run : config -> (report, string) result
+(** [Error _] only on setup problems (bad config, connection refused);
+    failures during the run are counted in the report instead. *)
+
+val to_json : report -> string
+(** One deterministic JSON object (non-finite numbers render as null);
+    accepted by {!Obs.Export.validate_json}. *)
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable multi-line summary. *)

@@ -1,0 +1,57 @@
+module Counter = Obs.Metric.Counter
+module Gauge = Obs.Metric.Gauge
+module Histogram = Obs.Metric.Histogram
+module Family = Obs.Metric.Family
+
+let requests_family =
+  Family.counter ~help:"Requests received, by wire frame type"
+    ~label_names:[ "type" ] "serve_requests_total"
+
+(* One child per frame type, bound at init so the hot path never walks
+   the family's label table. *)
+let req_path_query = Family.labels requests_family [ "path_query" ]
+let req_demand_update = Family.labels requests_family [ "demand_update" ]
+let req_link_event = Family.labels requests_family [ "link_event" ]
+let req_stats = Family.labels requests_family [ "stats" ]
+let req_health = Family.labels requests_family [ "health" ]
+let req_reload = Family.labels requests_family [ "reload" ]
+
+(* Dispatch on the canonical wire name so the metric label and the
+   protocol documentation can never drift apart. *)
+let child_of = function
+  | "path_query" -> req_path_query
+  | "demand_update" -> req_demand_update
+  | "link_event" -> req_link_event
+  | "stats" -> req_stats
+  | "health" -> req_health
+  | _ -> req_reload
+
+let observe_request req = Counter.incr (child_of (Wire.request_type req))
+
+let latency =
+  Histogram.create ~help:"Wall-clock seconds from frame decode to reply write"
+    "serve_latency_seconds"
+
+let swaps =
+  Counter.create ~help:"Snapshot hot-swaps published by the recompute domain"
+    "serve_snapshot_swaps_total"
+
+let inflight =
+  Gauge.create ~help:"Requests decoded but not yet answered" "serve_inflight_requests"
+
+let connections =
+  Counter.create ~help:"Binary-protocol connections accepted" "serve_connections_total"
+
+let protocol_errors =
+  Counter.create ~help:"Frames rejected as malformed" "serve_protocol_errors_total"
+
+let recompute_errors =
+  Counter.create ~help:"Background recomputes dropped after an exception"
+    "serve_recompute_errors_total"
+
+let recompute_seconds =
+  Histogram.create ~help:"Wall-clock seconds per background table rebuild"
+    "serve_recompute_seconds"
+
+let http_requests =
+  Counter.create ~help:"HTTP scrape endpoint requests served" "serve_http_requests_total"

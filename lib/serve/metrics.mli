@@ -1,0 +1,35 @@
+(** Serving-plane instruments, all on the default {!Obs.Registry}.
+
+    Family children are resolved once at module initialisation, so the
+    request hot path touches only a pre-bound counter — no label lookup,
+    no allocation. Everything here is a no-op while [Obs.set_enabled
+    false], like every other instrument in the tree. *)
+
+val observe_request : Wire.request -> unit
+(** Bump [serve_requests_total{type=...}] for the request's wire type. *)
+
+val latency : Obs.Metric.Histogram.t
+(** [serve_latency_seconds]: wall-clock request handling time, observed
+    per answered frame; p50/p90/p99 come from the registry snapshot. *)
+
+val swaps : Obs.Metric.Counter.t
+(** [serve_snapshot_swaps_total]: successful atomic snapshot hot-swaps. *)
+
+val inflight : Obs.Metric.Gauge.t
+(** [serve_inflight_requests]: frames decoded but not yet answered. *)
+
+val connections : Obs.Metric.Counter.t
+(** [serve_connections_total]: accepted binary-protocol connections. *)
+
+val protocol_errors : Obs.Metric.Counter.t
+(** [serve_protocol_errors_total]: frames rejected as malformed. *)
+
+val recompute_errors : Obs.Metric.Counter.t
+(** [serve_recompute_errors_total]: background recomputes that raised and
+    were dropped (the previous snapshot stays live). *)
+
+val recompute_seconds : Obs.Metric.Histogram.t
+(** [serve_recompute_seconds]: duration of background table rebuilds. *)
+
+val http_requests : Obs.Metric.Counter.t
+(** [serve_http_requests_total]: scrape-endpoint requests served. *)

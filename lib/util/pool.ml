@@ -55,3 +55,31 @@ let init ?jobs n f =
     run_workers ~jobs ~n ~work:(fun k -> out.(k) <- Some (f k));
     Array.map (function Some v -> v | None -> assert false) out
   end
+
+module Background = struct
+  (* Persistent variant for server loops: the domains live until their
+     bodies decide to return, and [join] collects them once. Exceptions
+     follow the same first-wins convention as [run_workers]. *)
+
+  type t = {
+    domains : unit Domain.t array;
+    error : (exn * Printexc.raw_backtrace) option Atomic.t;
+  }
+
+  let spawn n body =
+    let n = max 1 n in
+    let error : (exn * Printexc.raw_backtrace) option Atomic.t = Atomic.make None in
+    let guarded i =
+      try body i
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set error None (Some (e, bt)))
+    in
+    { domains = Array.init n (fun i -> Domain.spawn (fun () -> guarded i)); error }
+
+  let join t =
+    Array.iter Domain.join t.domains;
+    match Atomic.get t.error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+end

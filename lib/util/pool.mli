@@ -28,3 +28,27 @@ val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 val init : ?jobs:int -> int -> (int -> 'a) -> 'a array
 (** [init ~jobs n f] is [Array.init n f] with the same contract as
     {!map_array}. *)
+
+module Background : sig
+  (** Long-lived domains for servers: where {!map_array} forks and joins
+      around one batch, a background group stays up for the process
+      lifetime (accept loops, connection workers) and is joined once at
+      shutdown. The same [Domain_safe] contract applies to the body —
+      shared state must go through the [Atomic]/[Mutex] discipline that
+      [check/parallel.json] certifies. *)
+
+  type t
+
+  val spawn : int -> (int -> unit) -> t
+  (** [spawn n body] starts [max 1 n] domains, each running [body i] once
+      with its index [0 <= i < n]. The body is expected to loop until an
+      external stop signal (a flag, a closed fd); the pool imposes no
+      protocol of its own. An exception escaping a body is stashed and
+      re-raised by {!join}. *)
+
+  val join : t -> unit
+  (** Blocks until every body has returned, then re-raises the first
+      stashed exception (by completion order), if any, with its
+      backtrace. Idempotent only in the absence of exceptions: callers
+      should arrange the stop signal before joining. *)
+end

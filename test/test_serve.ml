@@ -1,0 +1,403 @@
+(* Tests for the serve subsystem: QCheck round-trip laws for every wire
+   frame shape, malformed-frame rejection, golden frame bytes, the
+   prometheus-page renderer identity shared by `respctl stats` and the
+   scrape endpoint, and a loopback integration session against a live
+   server (query / update / link event / reload / drain). *)
+
+module W = Serve.Wire
+
+(* ----------------------------- generators ---------------------------- *)
+
+let id_gen = QCheck.Gen.int_range 0 0x7fff_ffff
+let version_gen = QCheck.Gen.int_range 0 0x3fff_ffff_ffff
+let finite_float_gen = QCheck.Gen.float_range (-1e15) 1e15
+
+let request_gen =
+  let open QCheck.Gen in
+  oneof
+    [
+      map2 (fun origin dest -> W.Path_query { origin; dest }) id_gen id_gen;
+      map3
+        (fun origin dest bps -> W.Demand_update { origin; dest; bps })
+        id_gen id_gen finite_float_gen;
+      map2 (fun link up -> W.Link_event { link; up }) id_gen bool;
+      return W.Stats;
+      return W.Health;
+      return W.Reload;
+    ]
+
+let status_gen = QCheck.Gen.oneofl [ W.Path_ok; W.Unknown_pair; W.No_usable_path ]
+
+let response_gen =
+  let open QCheck.Gen in
+  oneof
+    [
+      map3
+        (fun status level nodes -> W.Path_reply { status; level; nodes })
+        status_gen (int_range 0 255)
+        (list_size (int_range 0 20) id_gen);
+      map (fun version -> W.Ack { version }) version_gen;
+      ( version_gen >>= fun s_version ->
+        version_gen >>= fun s_swaps ->
+        version_gen >>= fun s_served ->
+        finite_float_gen >>= fun s_uptime_s ->
+        int_range 0 255 >>= fun s_levels ->
+        finite_float_gen >>= fun s_power_percent ->
+        return
+          (W.Stats_reply
+             { W.s_version; s_swaps; s_served; s_uptime_s; s_levels; s_power_percent }) );
+      map2 (fun healthy version -> W.Health_reply { healthy; version }) bool version_gen;
+      map2
+        (fun code message -> W.Error_reply { code; message })
+        (int_range 0 255)
+        (string_size ~gen:printable (int_range 0 100));
+    ]
+
+(* --------------------------- round-trip laws -------------------------- *)
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"request decode (encode r) = r, whole frame consumed" ~count:500
+    (QCheck.make request_gen) (fun req ->
+      let s = W.encode_request req in
+      match W.decode_request s with
+      | Ok (req', consumed) -> consumed = String.length s && W.equal_request req req'
+      | Error _ -> false)
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~name:"response decode (encode r) = r, whole frame consumed" ~count:500
+    (QCheck.make response_gen) (fun resp ->
+      let s = W.encode_response resp in
+      match W.decode_response s with
+      | Ok (resp', consumed) -> consumed = String.length s && W.equal_response resp resp'
+      | Error _ -> false)
+
+(* Streaming invariant: two frames back to back decode independently via
+   the returned offset. *)
+let prop_request_stream =
+  QCheck.Test.make ~name:"two concatenated requests drain via ?pos" ~count:200
+    (QCheck.make QCheck.Gen.(pair request_gen request_gen)) (fun (a, b) ->
+      let s = W.encode_request a ^ W.encode_request b in
+      match W.decode_request s with
+      | Error _ -> false
+      | Ok (a', next) -> (
+          match W.decode_request ~pos:next s with
+          | Error _ -> false
+          | Ok (b', fin) ->
+              W.equal_request a a' && W.equal_request b b' && fin = String.length s))
+
+(* Total safety: the decoders never raise, whatever the bytes. *)
+let prop_decode_never_raises =
+  QCheck.Test.make ~name:"decoders are total on junk" ~count:1000
+    QCheck.(string_gen QCheck.Gen.char) (fun s ->
+      (match W.decode_request s with Ok _ -> () | Error _ -> ());
+      (match W.decode_response s with Ok _ -> () | Error _ -> ());
+      true)
+
+(* ---------------------------- rejection ------------------------------ *)
+
+(* Raw frame builder so the tests can forge headers the encoder refuses
+   to produce. *)
+let forge ?(magic = W.magic) ?(version = W.version) ?length payload =
+  let b = Buffer.create 32 in
+  Buffer.add_int32_be b magic;
+  Buffer.add_uint8 b version;
+  let len = match length with Some l -> l | None -> String.length payload in
+  Buffer.add_int32_be b (Int32.of_int len);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let err_testable = Alcotest.testable (Fmt.of_to_string W.error_to_string) ( = )
+
+let check_reject name frame expected =
+  match W.decode_request frame with
+  | Ok _ -> Alcotest.failf "%s: decoded instead of rejecting" name
+  | Error e -> Alcotest.check err_testable name expected e
+
+let test_truncated_prefixes () =
+  let full = W.encode_request (W.Demand_update { origin = 1; dest = 2; bps = 2.5e9 }) in
+  for len = 0 to String.length full - 1 do
+    check_reject
+      (Printf.sprintf "prefix of %d bytes" len)
+      (String.sub full 0 len) W.Truncated
+  done;
+  Alcotest.(check bool) "full frame decodes" true
+    (match W.decode_request full with Ok _ -> true | Error _ -> false)
+
+let test_bad_magic () =
+  let frame = forge ~magic:0x52535000l "\x04" in
+  check_reject "corrupted magic" frame (W.Bad_magic 0x52535000l)
+
+let test_bad_version () =
+  check_reject "future version" (forge ~version:2 "\x04") (W.Bad_version 2)
+
+let test_oversized () =
+  let frame = forge ~length:(W.max_payload + 1) "\x04" in
+  check_reject "payload above the 1 MiB bound" frame (W.Oversized (W.max_payload + 1))
+
+let test_bad_tag () =
+  check_reject "unassigned tag" (forge "\x7f") (W.Bad_tag 0x7f)
+
+let test_bad_payload () =
+  (* A path_query tag with a link_event-sized body. *)
+  match W.decode_request (forge "\x01\x00\x00\x00\x03") with
+  | Error (W.Bad_payload _) -> ()
+  | Error e -> Alcotest.failf "expected Bad_payload, got %s" (W.error_to_string e)
+  | Ok _ -> Alcotest.fail "short path_query body decoded"
+
+let test_empty_payload () =
+  match W.decode_request (forge "") with
+  | Error (W.Bad_payload _) -> ()
+  | Error e -> Alcotest.failf "expected Bad_payload, got %s" (W.error_to_string e)
+  | Ok _ -> Alcotest.fail "empty payload decoded"
+
+let test_encode_validation () =
+  Alcotest.check_raises "negative node id"
+    (Invalid_argument "Serve.Wire: origin -1 outside [0, 2147483647]") (fun () ->
+      ignore (W.encode_request (W.Path_query { origin = -1; dest = 0 })));
+  (match
+     ignore (W.encode_request (W.Demand_update { origin = 0; dest = 1; bps = Float.nan }))
+   with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "NaN demand encoded");
+  match
+    ignore (W.encode_response (W.Path_reply { status = W.Path_ok; level = 256; nodes = [] }))
+  with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "level 256 encoded"
+
+(* ------------------------------ golden ------------------------------- *)
+
+(* The committed fixture pins the byte layout: a codec change that still
+   satisfies the round-trip laws (e.g. flipping endianness) fails here. *)
+
+let golden_frames =
+  [
+    ("path_query", `Req (W.Path_query { origin = 3; dest = 17 }));
+    ("demand_update", `Req (W.Demand_update { origin = 1; dest = 2; bps = 2.5e9 }));
+    ("link_event", `Req (W.Link_event { link = 9; up = false }));
+    ("stats", `Req W.Stats);
+    ("health", `Req W.Health);
+    ("reload", `Req W.Reload);
+    ( "path_reply",
+      `Resp (W.Path_reply { status = W.Path_ok; level = 2; nodes = [ 0; 4; 7; 21 ] }) );
+    ("path_reply_no_path", `Resp (W.Path_reply { status = W.No_usable_path; level = 0; nodes = [] }));
+    ("ack", `Resp (W.Ack { version = 5 }));
+    ( "stats_reply",
+      `Resp
+        (W.Stats_reply
+           {
+             W.s_version = 7;
+             s_swaps = 3;
+             s_served = 12345;
+             s_uptime_s = 12.5;
+             s_levels = 2;
+             s_power_percent = 61.25;
+           }) );
+    ("health_reply", `Resp (W.Health_reply { healthy = true; version = 9 }));
+    ("error_reply", `Resp (W.Error_reply { code = 2; message = "bad link" }));
+  ]
+
+let to_hex s =
+  String.concat ""
+    (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+       (List.init (String.length s) (String.get s)))
+
+let of_hex h =
+  String.init
+    (String.length h / 2)
+    (fun i -> Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2)))
+
+(* `dune runtest` runs test binaries from test/, `dune exec` from the
+   project root; accept either working directory. *)
+let fixture_path name =
+  if Sys.file_exists name then name else Filename.concat "test" name
+
+let read_fixture path =
+  In_channel.with_open_text (fixture_path path) (fun ic ->
+      In_channel.input_lines ic
+      |> List.filter_map (fun line ->
+             match String.index_opt line ' ' with
+             | None -> None
+             | Some sp ->
+                 Some
+                   ( String.sub line 0 sp,
+                     String.sub line (sp + 1) (String.length line - sp - 1) )))
+
+let test_golden_frames () =
+  let fixture = read_fixture "golden/wire-frames.hex" in
+  Alcotest.(check int) "fixture covers every frame shape" (List.length golden_frames)
+    (List.length fixture);
+  List.iter
+    (fun (name, value) ->
+      match List.assoc_opt name fixture with
+      | None -> Alcotest.failf "fixture line missing for %s" name
+      | Some hex ->
+          let encoded =
+            match value with
+            | `Req r -> W.encode_request r
+            | `Resp r -> W.encode_response r
+          in
+          Alcotest.(check string) (name ^ " bytes") hex (to_hex encoded);
+          let ok =
+            match value with
+            | `Req r -> (
+                match W.decode_request (of_hex hex) with
+                | Ok (r', _) -> W.equal_request r r'
+                | Error _ -> false)
+            | `Resp r -> (
+                match W.decode_response (of_hex hex) with
+                | Ok (r', _) -> W.equal_response r r'
+                | Error _ -> false)
+          in
+          Alcotest.(check bool) (name ^ " decodes back") true ok)
+    golden_frames
+
+(* --------------------------- prometheus page -------------------------- *)
+
+(* `respctl stats --metrics prom` and the daemon's GET /metrics both call
+   Obs.Export.prometheus_page: one renderer, so the two surfaces cannot
+   drift. The identity is pinned against the underlying exporter here. *)
+let test_prometheus_page_identity () =
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_enabled false)
+    (fun () ->
+      Serve.Metrics.observe_request W.Stats;
+      let page = Obs.Export.prometheus_page () in
+      let direct = Obs.Export.to_prometheus (Obs.Registry.snapshot Obs.Registry.default) in
+      Alcotest.(check string) "single renderer behind both surfaces" direct page;
+      Alcotest.(check bool) "page mentions the serve counters" true
+        (let needle = "serve_requests_total" in
+         let nh = String.length page and nn = String.length needle in
+         let rec at i = i + nn <= nh && (String.sub page i nn = needle || at (i + 1)) in
+         at 0))
+
+(* ---------------------------- loopback ------------------------------- *)
+
+let call_ok client req =
+  match Serve.Client.call client req with
+  | Ok resp -> resp
+  | Error e -> Alcotest.failf "call failed: %s" e
+
+(* Encoded Path_reply bytes for each pair, the comparison key for the
+   reload-equivalence check. *)
+let answers client pairs =
+  List.map
+    (fun (origin, dest) -> W.encode_response (call_ok client (W.Path_query { origin; dest })))
+    pairs
+
+let test_loopback_session () =
+  Obs.set_enabled true;
+  let g = Topo.Geant.make () in
+  let power = Power.Model.cisco12000 g in
+  let pairs = Traffic.Gravity.random_node_pairs g ~seed:7 ~fraction:0.5 in
+  let demand = Traffic.Gravity.make g ~pairs ~total:(Eutil.Units.gbps 5.0) () in
+  let state = Serve.State.create g power ~pairs ~demand in
+  let server =
+    Serve.Server.start
+      ~config:{ Serve.Server.default_config with port = 0; http_port = 0; workers = 2 }
+      state
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop server;
+      Serve.State.stop state;
+      Obs.set_enabled false)
+    (fun () ->
+      let port = Serve.Server.port server in
+      match Serve.Client.connect ~port () with
+      | Error e -> Alcotest.failf "connect: %s" e
+      | Ok client ->
+          Fun.protect
+            ~finally:(fun () -> Serve.Client.close client)
+            (fun () ->
+              let probe = List.filteri (fun i _ -> i < 30) pairs in
+              let origin, dest = List.hd probe in
+              (* Path queries answer with installed paths. *)
+              (match call_ok client (W.Path_query { origin; dest }) with
+              | W.Path_reply { status = W.Path_ok; nodes; _ } ->
+                  Alcotest.(check bool) "path starts at the origin" true
+                    (match nodes with n :: _ -> n = origin | [] -> false)
+              | resp ->
+                  Alcotest.failf "expected a usable path, got %s"
+                    (W.error_to_string (W.Bad_payload (W.encode_response resp))));
+              let before = answers client probe in
+              (* An equivalent-snapshot reload must not change any answer. *)
+              (match call_ok client W.Reload with
+              | W.Ack { version } ->
+                  Alcotest.(check bool) "reload advanced the snapshot" true (version >= 1)
+              | _ -> Alcotest.fail "reload not acknowledged");
+              let after = answers client probe in
+              List.iteri
+                (fun i (b, a) ->
+                  Alcotest.(check string)
+                    (Printf.sprintf "pair %d byte-identical across reload" i)
+                    (to_hex b) (to_hex a))
+                (List.combine before after);
+              (* Demand updates: staged on valid pairs, refused on the
+                 diagonal. *)
+              (match call_ok client (W.Demand_update { origin; dest; bps = 1e9 }) with
+              | W.Ack _ -> ()
+              | _ -> Alcotest.fail "demand update not acknowledged");
+              (match call_ok client (W.Demand_update { origin; dest = origin; bps = 1e9 }) with
+              | W.Error_reply { code; _ } ->
+                  Alcotest.(check int) "diagonal refused" W.err_bad_argument code
+              | _ -> Alcotest.fail "diagonal demand accepted");
+              (* Link events flip failover state and are reversible. *)
+              (match call_ok client (W.Link_event { link = 0; up = false }) with
+              | W.Ack _ -> ()
+              | _ -> Alcotest.fail "link-down not acknowledged");
+              (match call_ok client (W.Path_query { origin; dest }) with
+              | W.Path_reply _ -> ()
+              | _ -> Alcotest.fail "query during link failure not answered");
+              (match call_ok client (W.Link_event { link = 0; up = true }) with
+              | W.Ack _ -> ()
+              | _ -> Alcotest.fail "link-up not acknowledged");
+              (* Out-of-range link refused. *)
+              (match call_ok client (W.Link_event { link = 100000; up = false }) with
+              | W.Error_reply { code; _ } ->
+                  Alcotest.(check int) "bad link refused" W.err_bad_argument code
+              | _ -> Alcotest.fail "out-of-range link accepted");
+              (* Stats and health reflect the session. *)
+              (match call_ok client W.Stats with
+              | W.Stats_reply s ->
+                  Alcotest.(check bool) "served counted" true (s.W.s_served > 0);
+                  Alcotest.(check bool) "power percent sane" true
+                    (s.W.s_power_percent >= 0.0 && s.W.s_power_percent <= 100.0)
+              | _ -> Alcotest.fail "stats not answered");
+              (match call_ok client W.Health with
+              | W.Health_reply { healthy; _ } ->
+                  Alcotest.(check bool) "healthy" true healthy
+              | _ -> Alcotest.fail "health not answered");
+              (* Scrape endpoint serves the shared prometheus page. *)
+              match
+                Serve.Client.http_get ~port:(Serve.Server.http_port server) ~path:"/metrics" ()
+              with
+              | Ok body -> Alcotest.(check bool) "scrape non-empty" true (String.length body > 0)
+              | Error e -> Alcotest.failf "scrape: %s" e))
+
+(* ------------------------------- suite ------------------------------- *)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "wire",
+        [
+          QCheck_alcotest.to_alcotest prop_request_roundtrip;
+          QCheck_alcotest.to_alcotest prop_response_roundtrip;
+          QCheck_alcotest.to_alcotest prop_request_stream;
+          QCheck_alcotest.to_alcotest prop_decode_never_raises;
+          Alcotest.test_case "truncated prefixes" `Quick test_truncated_prefixes;
+          Alcotest.test_case "bad magic" `Quick test_bad_magic;
+          Alcotest.test_case "bad version" `Quick test_bad_version;
+          Alcotest.test_case "oversized" `Quick test_oversized;
+          Alcotest.test_case "bad tag" `Quick test_bad_tag;
+          Alcotest.test_case "bad payload" `Quick test_bad_payload;
+          Alcotest.test_case "empty payload" `Quick test_empty_payload;
+          Alcotest.test_case "encode validation" `Quick test_encode_validation;
+          Alcotest.test_case "golden frames" `Quick test_golden_frames;
+        ] );
+      ( "export",
+        [ Alcotest.test_case "prometheus page identity" `Quick test_prometheus_page_identity ] );
+      ("loopback", [ Alcotest.test_case "session" `Quick test_loopback_session ]);
+    ]
