@@ -33,6 +33,46 @@ let sweep_one port pairs conns =
         r.Serve.Load.completed r.Serve.Load.sent;
       Some (conns, r)
 
+(* Guard.admit sits on the per-request hot path (declared in
+   check/cost.json) and the journal append sits on every acknowledged
+   update: pin their unit costs so a regression is a visible number, not
+   a vibe. The journal runs with fsync off — the bench measures the
+   encode/CRC/write path, not the disk. *)
+let resilience_micro () =
+  Report.subsection "resilience: admission hot path and journal append";
+  let iters = if Report.fast then 200_000 else 2_000_000 in
+  let guard = Serve.Guard.create Serve.Guard.default in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to iters - 1 do
+    match Serve.Guard.admit guard ~now:(float_of_int i *. 1e-6) with
+    | Serve.Guard.Admit -> ()
+    | Serve.Guard.Shed -> ()
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Report.row "  Guard.admit: %.0f ns/op (%d ops in %.3f s)@."
+    (dt /. float_of_int iters *. 1e9)
+    iters dt;
+  let append_bps = Eutil.Units.to_float (Eutil.Units.gbps 1.0) in
+  let jpath = Filename.temp_file "bench-serve" ".journal" in
+  (match Serve.Journal.open_ ~fsync:false jpath with
+  | Error e -> Report.row "  journal open failed: %s@." e
+  | Ok j ->
+      let appends = if Report.fast then 5_000 else 50_000 in
+      let t0 = Unix.gettimeofday () in
+      for i = 0 to appends - 1 do
+        ignore
+          (Serve.Journal.append j
+             (Serve.Wire.Demand_update
+                { origin = i land 0xff; dest = 256 + (i land 0xff); bps = append_bps }))
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      Serve.Journal.close j;
+      Report.row "  Journal.append (no fsync): %.2f us/record (%d records in %.3f s)@."
+        (dt /. float_of_int appends *. 1e6)
+        appends dt);
+  (try Sys.remove jpath with Sys_error _ -> ());
+  Report.note "fsync'd appends are disk-bound; the daemon pays one per acknowledged update"
+
 let serve () =
   Report.section "serve: respctld loopback wire-protocol sweep (GEANT)";
   serve_timings := [];
@@ -61,4 +101,5 @@ let serve () =
           Serve.Server.stop server;
           Serve.State.stop state;
           serve_timings := List.rev !serve_timings;
-          Report.note "closed-loop over loopback TCP; SLO: >= 5000 req/s with p99 < 5 ms")
+          Report.note "closed-loop over loopback TCP; SLO: >= 5000 req/s with p99 < 5 ms");
+  resilience_micro ()

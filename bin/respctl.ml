@@ -787,17 +787,17 @@ let query_cmd =
             Format.eprintf "query: %s@." msg;
             2
         | o, d -> (
-            match Serve.Client.connect ~host ~port () with
+            (* Path queries are idempotent: bounded connect/reply
+               deadlines plus seeded-backoff retries, so a wedged or
+               briefly-overloaded daemon degrades into a clean error. *)
+            match
+              Serve.Client.request ~host ~connect_timeout_s:2.0 ~timeout_s:5.0
+                ~retry:Serve.Client.default_retry ~port
+                (Serve.Wire.Path_query { origin = o; dest = d })
+            with
             | Error e ->
                 Format.eprintf "query: %s@." e;
                 2
-            | Ok c -> (
-                let reply = Serve.Client.call c (Serve.Wire.Path_query { origin = o; dest = d }) in
-                Serve.Client.close c;
-                match reply with
-                | Error e ->
-                    Format.eprintf "query: %s@." e;
-                    2
                 | Ok (Serve.Wire.Path_reply { status = Serve.Wire.Path_ok; level; nodes }) ->
                     Format.printf "%s -> %s: level %d, %s@." origin dest level
                       (String.concat "-" (List.map (Topo.Graph.name g) nodes));
@@ -814,7 +814,7 @@ let query_cmd =
                     1
                 | Ok _ ->
                     Format.eprintf "query: unexpected reply type@.";
-                    1)))
+                    1))
   in
   let doc = "Ask a running respctld which installed path a pair uses right now." in
   Cmd.v (Cmd.info "query" ~doc)
@@ -858,11 +858,28 @@ let load_cmd =
       & info [ "slo-p99" ] ~docv:"MS"
           ~doc:"Exit non-zero if the p99 query latency exceeds $(docv) milliseconds.")
   in
-  let run name host port conns rate duration requests reload_at slo seed fraction json =
+  let timeout_arg =
+    Arg.(
+      value
+      & opt float 5.0
+      & info [ "timeout" ] ~docv:"S"
+          ~doc:"Per-attempt reply deadline; a miss replaces the connection and retries (0 \
+                disables).")
+  in
+  let retries_arg =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retry budget per query for timeouts and overload/deadline rejections.")
+  in
+  let run name host port conns rate duration requests reload_at slo timeout retries seed
+      fraction json =
     with_topology name (fun _t g ->
         let pairs = Array.of_list (pairs_of g ~seed ~fraction) in
         let cfg =
           {
+            Serve.Load.default with
             Serve.Load.host;
             port;
             conns;
@@ -871,6 +888,9 @@ let load_cmd =
             requests;
             pairs;
             reload_at;
+            timeout_s = timeout;
+            retries;
+            seed;
           }
         in
         match Serve.Load.run cfg with
@@ -886,16 +906,324 @@ let load_cmd =
             if slo_violated then
               Format.eprintf "load: p99 %.3f ms exceeds the %.3f ms SLO@." r.Serve.Load.p99_ms
                 (Option.value slo ~default:0.0);
+            (* [failed] already folds in requests whose shed/timeout
+               retries never recovered, so backpressure the run could
+               not absorb fails the gate. *)
             if r.Serve.Load.failed > 0 || r.Serve.Load.wrong > 0 || slo_violated then 1 else 0)
   in
   let doc =
-    "Drive a running respctld with a closed-loop workload and report delivered QPS and exact \
-     latency percentiles, optionally enforcing a p99 SLO."
+    "Drive a running respctld with a closed-loop workload and report delivered QPS, exact \
+     latency percentiles, and timeout/retry/shed counts, optionally enforcing a p99 SLO. \
+     Retries use seeded exponential backoff; a circuit breaker keeps an unreachable server \
+     from hanging the run."
   in
   Cmd.v (Cmd.info "load" ~doc)
     Term.(
       const run $ topology_arg $ host_arg $ port_arg $ conns_arg $ rate_arg $ duration_arg
-      $ requests_arg $ reload_at_arg $ slo_arg $ seed_arg $ fraction_arg $ json_arg)
+      $ requests_arg $ reload_at_arg $ slo_arg $ timeout_arg $ retries_arg $ seed_arg
+      $ fraction_arg $ json_arg)
+
+(* ---------------------------- chaos-serve --------------------------- *)
+
+(* Per-fault probe tally: every probe lands in exactly one class, and the
+   drill's invariant is that the wrong class stays empty — a mangled
+   frame may fail transport or earn a typed protocol error, never a
+   bogus reply and never a daemon crash. *)
+type fault_row = {
+  fr_name : string;
+  fr_ok : int;  (* well-formed path replies *)
+  fr_typed : int;  (* typed Error_reply frames from the daemon *)
+  fr_transport : int;  (* resets, EOFs, timeouts absorbed by the client *)
+  fr_wrong : int;  (* replies of an impossible type *)
+  fr_recovered : bool;  (* a clean probe succeeds once the fault clears *)
+  fr_alive : bool;  (* the daemon answers health off the faulty path *)
+}
+
+type journal_drill = {
+  jd_replay : bool;  (* copied-at-kill journal rebuilds identical bytes *)
+  jd_torn_detected : bool;  (* a half-written tail is flagged *)
+  jd_torn_replay : bool;  (* ... and dropped without corrupting state *)
+  jd_compacted : bool;  (* at least one checkpoint rewrite happened *)
+}
+
+(* Everything resolve-visible, byte-serialized: the reply frame of every
+   sampled pair plus the evaluation figures (power as IEEE bits, so
+   "byte-identical" means bit-identical, not approximately-equal). The
+   snapshot version is deliberately excluded — a restart resets it. *)
+let chaos_snapshot_bytes st pairs =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (origin, dest) ->
+      let status, level, nodes = Serve.State.resolve st ~origin ~dest in
+      Buffer.add_string b
+        (Serve.Wire.encode_response (Serve.Wire.Path_reply { status; level; nodes })))
+    pairs;
+  Buffer.add_string b (string_of_int (Serve.State.levels_activated st));
+  Buffer.add_string b (Int64.to_string (Int64.bits_of_float (Serve.State.power_percent st)));
+  Buffer.contents b
+
+(* Simulated kill -9 + restart: run a journaled state, copy the journal
+   file at an arbitrary instant (what a crash leaves behind), boot a
+   second state from the copy and demand byte-identical resolution; then
+   the same with a half-written record glued on the tail. *)
+let chaos_journal_drill g power ~pairs ~demand =
+  let read_file p =
+    let ic = open_in_bin p in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let write_file p s =
+    let oc = open_out_bin p in
+    output_string oc s;
+    close_out oc
+  in
+  let remove_quiet p = try Sys.remove p with Sys_error _ -> () in
+  let jpath = Filename.temp_file "respctl-chaos" ".journal" in
+  let jcopy = jpath ^ ".crash" in
+  let jtorn = jpath ^ ".torn" in
+  let parr = Array.of_list pairs in
+  let nothing =
+    { jd_replay = false; jd_torn_detected = false; jd_torn_replay = false; jd_compacted = false }
+  in
+  let outcome =
+    match Serve.Journal.open_ jpath with
+    | Error _ -> nothing
+    | Ok j ->
+        let s1 = Serve.State.create ~journal:j g power ~pairs ~demand in
+        let drill_step_bps = Eutil.Units.to_float (Eutil.Units.gbps 0.1) in
+        let k = Int.min 4 (Array.length parr) in
+        for i = 0 to k - 1 do
+          let origin, dest = parr.(i) in
+          ignore
+            (Serve.State.update_demand s1 ~origin ~dest
+               ~bps:(drill_step_bps *. float_of_int (i + 1)))
+        done;
+        ignore (Serve.State.set_link s1 ~link:0 ~up:false);
+        ignore (Serve.State.reload s1);
+        let b1 = chaos_snapshot_bytes s1 pairs in
+        (* A post-checkpoint append that leaves the staged state bitwise
+           unchanged: whether the crash image carries it as a checkpoint
+           or as a trailing record, replay must land on the same state. *)
+        (if k > 0 then begin
+           let origin, dest = parr.(0) in
+           ignore (Serve.State.update_demand s1 ~origin ~dest ~bps:drill_step_bps)
+         end);
+        let image = read_file jpath in
+        Serve.State.stop s1;
+        write_file jcopy image;
+        let replay_ok =
+          match Serve.Journal.open_ jcopy with
+          | Error _ -> false
+          | Ok j2 ->
+              if Serve.Journal.torn j2 then begin
+                Serve.Journal.close j2;
+                false
+              end
+              else begin
+                let s2 = Serve.State.create ~journal:j2 g power ~pairs ~demand in
+                let b2 = chaos_snapshot_bytes s2 pairs in
+                Serve.State.stop s2;
+                String.equal b1 b2
+              end
+        in
+        (* len claims 0x20 bytes but only nine follow: exactly the shape
+           a power cut mid-append leaves behind. *)
+        write_file jtorn (image ^ "\x00\x00\x00\x20torn-tail");
+        let torn_detected, torn_replay =
+          match Serve.Journal.open_ jtorn with
+          | Error _ -> (false, false)
+          | Ok j3 ->
+              let detected = Serve.Journal.torn j3 in
+              let s3 = Serve.State.create ~journal:j3 g power ~pairs ~demand in
+              let b3 = chaos_snapshot_bytes s3 pairs in
+              Serve.State.stop s3;
+              (detected, String.equal b1 b3)
+        in
+        {
+          jd_replay = replay_ok;
+          jd_torn_detected = torn_detected;
+          jd_torn_replay = torn_replay;
+          jd_compacted = Obs.Metric.Counter.value Serve.Metrics.journal_compactions > 0.0;
+        }
+  in
+  remove_quiet jpath;
+  remove_quiet jcopy;
+  remove_quiet jtorn;
+  outcome
+
+let chaos_serve_cmd =
+  let probes_arg =
+    Arg.(
+      value
+      & opt int 5
+      & info [ "probes" ] ~docv:"N" ~doc:"Path queries probed through the proxy per fault.")
+  in
+  let faults =
+    [|
+      ("pass", Serve.Chaosproxy.Pass);
+      ("delay", Serve.Chaosproxy.Delay 0.02);
+      ("partial_write", Serve.Chaosproxy.Partial_write);
+      ("truncate", Serve.Chaosproxy.Truncate 4);
+      ("corrupt", Serve.Chaosproxy.Corrupt);
+      ("reset", Serve.Chaosproxy.Reset);
+      ("blackhole", Serve.Chaosproxy.Blackhole);
+    |]
+  in
+  let run name seed fraction probes json =
+    with_topology name (fun t g ->
+        Obs.set_enabled true;
+        let power = power_of t g in
+        let pairs = pairs_of g ~seed ~fraction in
+        let demand = Traffic.Gravity.make g ~pairs ~total:(Eutil.Units.gbps 5.0) () in
+        match Serve.State.create g power ~pairs ~demand with
+        | exception Invalid_argument msg ->
+            Format.eprintf "chaos-serve: %s@." msg;
+            2
+        | state -> (
+            let sconfig =
+              { Serve.Server.default_config with Serve.Server.port = 0; http_port = 0; workers = 2 }
+            in
+            match Serve.Server.start ~config:sconfig state with
+            | exception Unix.Unix_error (err, _, _) ->
+                Serve.State.stop state;
+                Format.eprintf "chaos-serve: %s@." (Unix.error_message err);
+                2
+            | server ->
+                let proxy =
+                  Serve.Chaosproxy.start ~seed ~upstream_port:(Serve.Server.port server) ()
+                in
+                let pport = Serve.Chaosproxy.port proxy in
+                let dport = Serve.Server.port server in
+                let parr = Array.of_list pairs in
+                let npairs = Array.length parr in
+                let probe_query ?(timeout_s = 0.5) ?retry ~port k =
+                  let origin, dest = parr.(k mod npairs) in
+                  Serve.Client.request ~connect_timeout_s:1.0 ~timeout_s ?retry ~port
+                    (Serve.Wire.Path_query { origin; dest })
+                in
+                let run_fault (fname, f) =
+                  Serve.Chaosproxy.set_fault proxy f;
+                  let ok = ref 0 and typed = ref 0 in
+                  let transport = ref 0 and wrong = ref 0 in
+                  for k = 0 to probes - 1 do
+                    match probe_query ~port:pport k with
+                    | Ok (Serve.Wire.Path_reply _) -> incr ok
+                    | Ok (Serve.Wire.Error_reply _) -> incr typed
+                    | Ok _ -> incr wrong
+                    | Error _ -> incr transport
+                  done;
+                  Serve.Chaosproxy.set_fault proxy Serve.Chaosproxy.Pass;
+                  let recovered =
+                    match
+                      probe_query ~timeout_s:2.0 ~retry:Serve.Client.default_retry ~port:pport 0
+                    with
+                    | Ok (Serve.Wire.Path_reply _) -> true
+                    | Ok _ | Error _ -> false
+                  in
+                  (* Health goes to the daemon directly, off the faulty
+                     path: a fault must never take the process down. *)
+                  let alive =
+                    match
+                      Serve.Client.request ~connect_timeout_s:1.0 ~timeout_s:2.0 ~port:dport
+                        Serve.Wire.Health
+                    with
+                    | Ok (Serve.Wire.Health_reply _) -> true
+                    | Ok _ | Error _ -> false
+                  in
+                  {
+                    fr_name = fname;
+                    fr_ok = !ok;
+                    fr_typed = !typed;
+                    fr_transport = !transport;
+                    fr_wrong = !wrong;
+                    fr_recovered = recovered;
+                    fr_alive = alive;
+                  }
+                in
+                let rows = Array.map run_fault faults in
+                (* SLO recovery: once the fault window closes, a clean
+                   closed-loop run through the proxy must deliver every
+                   reply within a generous p99 bound. *)
+                let slo_ok, slo_p99 =
+                  let lcfg =
+                    {
+                      Serve.Load.default with
+                      Serve.Load.host = "127.0.0.1";
+                      port = pport;
+                      conns = 2;
+                      requests = 60;
+                      pairs = parr;
+                      timeout_s = 2.0;
+                      retries = 2;
+                      seed;
+                    }
+                  in
+                  match Serve.Load.run lcfg with
+                  | Error _ -> (false, Float.nan)
+                  | Ok r ->
+                      ( r.Serve.Load.failed = 0 && r.Serve.Load.wrong = 0
+                        && r.Serve.Load.p99_ms < 250.0,
+                        r.Serve.Load.p99_ms )
+                in
+                Serve.Chaosproxy.stop proxy;
+                Serve.Server.stop server;
+                Serve.State.stop state;
+                let jd = chaos_journal_drill g power ~pairs ~demand in
+                let crashes =
+                  Array.fold_left (fun n r -> if r.fr_alive then n else n + 1) 0 rows
+                in
+                let wrong_replies = Array.fold_left (fun n r -> n + r.fr_wrong) 0 rows in
+                let all_recovered = Array.for_all (fun r -> r.fr_recovered) rows in
+                if json then begin
+                  let b = Buffer.create 1024 in
+                  Printf.bprintf b "{\"topology\":%S,\"seed\":%d,\"probes\":%d,\"faults\":["
+                    t.tname seed probes;
+                  Array.iteri
+                    (fun i r ->
+                      if i > 0 then Buffer.add_char b ',';
+                      Printf.bprintf b
+                        "{\"fault\":%S,\"ok\":%d,\"typed_errors\":%d,\"transport_errors\":%d,\"wrong\":%d,\"recovered\":%b,\"daemon_alive\":%b}"
+                        r.fr_name r.fr_ok r.fr_typed r.fr_transport r.fr_wrong r.fr_recovered
+                        r.fr_alive)
+                    rows;
+                  Printf.bprintf b
+                    "],\"crashes\":%d,\"wrong_replies\":%d,\"post_fault_slo_ok\":%b,\"journal\":{\"replay_matches\":%b,\"torn_tail_detected\":%b,\"torn_replay_matches\":%b,\"compacted\":%b}}\n"
+                    crashes wrong_replies slo_ok jd.jd_replay jd.jd_torn_detected
+                    jd.jd_torn_replay jd.jd_compacted;
+                  print_string (Buffer.contents b)
+                end
+                else begin
+                  Format.printf "chaos-serve %s: %d fault(s) x %d probe(s), seed %d@." t.tname
+                    (Array.length faults) probes seed;
+                  Array.iter
+                    (fun r ->
+                      Format.printf
+                        "  %-14s ok %d  typed %d  transport %d  wrong %d  recovered %b  alive %b@."
+                        r.fr_name r.fr_ok r.fr_typed r.fr_transport r.fr_wrong r.fr_recovered
+                        r.fr_alive)
+                    rows;
+                  Format.printf "post-fault SLO: %s (p99 %.3f ms)@."
+                    (if slo_ok then "ok" else "VIOLATED")
+                    slo_p99;
+                  Format.printf "journal: replay %b, torn detected %b, torn replay %b, compacted %b@."
+                    jd.jd_replay jd.jd_torn_detected jd.jd_torn_replay jd.jd_compacted
+                end;
+                if
+                  crashes = 0 && wrong_replies = 0 && all_recovered && slo_ok && jd.jd_replay
+                  && jd.jd_torn_detected && jd.jd_torn_replay && jd.jd_compacted
+                then 0
+                else 1))
+  in
+  let doc =
+    "Resilience drill against an in-process respctld: probe every fault class (latency, \
+     partial writes, truncation, corruption, resets, blackholes) through a seeded chaos \
+     proxy, assert the daemon survives with only typed errors, check the post-fault SLO, and \
+     verify kill-and-restart journal recovery (torn tails included) rebuilds byte-identical \
+     state."
+  in
+  Cmd.v (Cmd.info "chaos-serve" ~doc)
+    Term.(const run $ topology_arg $ seed_arg $ fraction_arg $ probes_arg $ json_arg)
 
 let () =
   let doc = "REsPoNse: identifying and using energy-critical paths" in
@@ -904,6 +1232,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            topo_cmd; tables_cmd; power_cmd; replay_cmd; chaos_cmd; stats_cmd; export_cmd;
-            query_cmd; load_cmd; lint_cmd; analyze_cmd; check_cmd; doc_cmd;
+            topo_cmd; tables_cmd; power_cmd; replay_cmd; chaos_cmd; chaos_serve_cmd; stats_cmd;
+            export_cmd; query_cmd; load_cmd; lint_cmd; analyze_cmd; check_cmd; doc_cmd;
           ]))

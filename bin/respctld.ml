@@ -81,7 +81,8 @@ let run_smoke server pairs n =
       end
       else 1
 
-let serve name port http_port workers seed fraction beta load_gbps jobs smoke =
+let serve name port http_port workers seed fraction beta load_gbps jobs journal_path
+    max_inflight max_conns request_budget read_deadline idle_timeout smoke =
   Cli_topo.with_topology name (fun t g ->
       Obs.set_enabled true;
       install_signal_handlers ();
@@ -89,16 +90,48 @@ let serve name port http_port workers seed fraction beta load_gbps jobs smoke =
       let pairs = Cli_topo.pairs_of g ~seed ~fraction in
       let config = { Response.Framework.default with latency_beta = beta } in
       let demand = Traffic.Gravity.make g ~pairs ~total:(Eutil.Units.gbps load_gbps) () in
-      match Serve.State.create ~config ~jobs g power ~pairs ~demand with
+      let journal =
+        match journal_path with
+        | None -> Ok None
+        | Some p -> (
+            match Serve.Journal.open_ p with
+            | Ok j ->
+                Format.printf "respctld: journal %s: replayed %d record(s)%s@." p
+                  (List.length (Serve.Journal.entries j))
+                  (if Serve.Journal.torn j then " (dropped a torn tail)" else "");
+                Ok (Some j)
+            | Error e -> Error e)
+      in
+      match journal with
+      | Error e ->
+          Format.eprintf "respctld: journal: %s@." e;
+          1
+      | Ok journal -> (
+      match Serve.State.create ~config ~jobs ?journal g power ~pairs ~demand with
       | exception Invalid_argument msg ->
+          (match journal with Some j -> Serve.Journal.close j | None -> ());
           Format.eprintf "respctld: initial tables: %s@." msg;
           1
       | state ->
-          let sconfig = { Serve.Server.default_config with port; http_port; workers } in
+          let guard =
+            {
+              Serve.Guard.default with
+              Serve.Guard.max_inflight;
+              max_conns;
+              request_budget_s = request_budget;
+              read_deadline_s = read_deadline;
+              idle_timeout_s = idle_timeout;
+            }
+          in
+          let sconfig = { Serve.Server.default_config with port; http_port; workers; guard } in
           (match Serve.Server.start ~config:sconfig state with
           | exception Unix.Unix_error (err, _, _) ->
               Serve.State.stop state;
               Format.eprintf "respctld: cannot listen: %s@." (Unix.error_message err);
+              1
+          | exception Invalid_argument msg ->
+              Serve.State.stop state;
+              Format.eprintf "respctld: guard config: %s@." msg;
               1
           | server ->
               Format.printf
@@ -121,7 +154,7 @@ let serve name port http_port workers seed fraction beta load_gbps jobs smoke =
                     (Serve.Server.served server);
                   print_string (Obs.Export.prometheus_page ())
               | Some _ -> ());
-              code))
+              code)))
 
 let port_arg =
   Arg.(
@@ -161,6 +194,53 @@ let jobs_arg =
   Arg.(
     value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc:"Fan each table rebuild out over $(docv) domains.")
 
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"PATH"
+        ~doc:
+          "Crash-safe demand journal: replay $(docv) at startup (the pre-crash staged state \
+           boots into the first snapshot), fsync every accepted update before acknowledging \
+           it, and checkpoint on each snapshot swap.")
+
+let max_inflight_arg =
+  Arg.(
+    value
+    & opt int Serve.Guard.default.Serve.Guard.max_inflight
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:"Shed requests ($(b,overloaded)) past this many executing at once (0 = unlimited).")
+
+let max_conns_arg =
+  Arg.(
+    value
+    & opt int Serve.Guard.default.Serve.Guard.max_conns
+    & info [ "max-conns" ] ~docv:"N"
+        ~doc:"Refuse binary connections past this many open (0 = unlimited).")
+
+let request_budget_arg =
+  Arg.(
+    value
+    & opt float Serve.Guard.default.Serve.Guard.request_budget_s
+    & info [ "request-budget" ] ~docv:"S"
+        ~doc:
+          "Per-request deadline from first frame byte to execution; expired requests get a \
+           $(b,deadline) error (0 = unlimited).")
+
+let read_deadline_arg =
+  Arg.(
+    value
+    & opt float Serve.Guard.default.Serve.Guard.read_deadline_s
+    & info [ "read-deadline" ] ~docv:"S"
+        ~doc:"Reap connections holding a partial frame this long (slow-loris guard; 0 = off).")
+
+let idle_timeout_arg =
+  Arg.(
+    value
+    & opt float Serve.Guard.default.Serve.Guard.idle_timeout_s
+    & info [ "idle-timeout" ] ~docv:"S"
+        ~doc:"Reap connections with no traffic for this long (0 = off).")
+
 let smoke_arg =
   Arg.(
     value
@@ -182,4 +262,6 @@ let () =
        (Cmd.v info
           Term.(
             const serve $ topology_arg $ port_arg $ http_port_arg $ workers_arg $ seed_arg
-            $ fraction_arg $ beta_arg $ load_arg $ jobs_arg $ smoke_arg)))
+            $ fraction_arg $ beta_arg $ load_arg $ jobs_arg $ journal_arg $ max_inflight_arg
+            $ max_conns_arg $ request_budget_arg $ read_deadline_arg $ idle_timeout_arg
+            $ smoke_arg)))

@@ -33,3 +33,58 @@ val recompute_seconds : Obs.Metric.Histogram.t
 
 val http_requests : Obs.Metric.Counter.t
 (** [serve_http_requests_total]: scrape-endpoint requests served. *)
+
+(** {1 Resilience (PR 9)} *)
+
+val sheds : Obs.Metric.Counter.t
+(** [serve_sheds_total]: requests refused with [err_overloaded]. *)
+
+val deadline_hits : Obs.Metric.Counter.t
+(** [serve_deadline_hits_total]: requests answered [err_deadline] because
+    their budget expired before execution. *)
+
+val guard_degraded : Obs.Metric.Gauge.t
+(** [serve_guard_degraded]: 1 while the admission guard is shedding. *)
+
+val degraded_entries : Obs.Metric.Counter.t
+(** [serve_degraded_entries_total]: Normal→Degraded transitions. *)
+
+val degraded_seconds : Obs.Metric.Histogram.t
+(** [serve_degraded_seconds]: length of each Degraded episode. *)
+
+val conns_refused : Obs.Metric.Counter.t
+(** [serve_connections_refused_total]: accepts closed at the cap. *)
+
+val reaped_idle : Obs.Metric.Counter.t
+(** [serve_reaped_connections_total{reason="idle"}]. *)
+
+val reaped_read_deadline : Obs.Metric.Counter.t
+(** [serve_reaped_connections_total{reason="read_deadline"}]: slow-loris
+    connections holding a partial frame past the read deadline. *)
+
+val journal_appends : Obs.Metric.Counter.t
+(** [serve_journal_appends_total]: accepted updates made durable. *)
+
+val journal_bytes : Obs.Metric.Counter.t
+(** [serve_journal_bytes_total]: bytes written to the journal. *)
+
+val journal_replayed : Obs.Metric.Counter.t
+(** [serve_journal_replayed_total]: records replayed at startup. *)
+
+val journal_compactions : Obs.Metric.Counter.t
+(** [serve_journal_compactions_total]: checkpoint rewrites. *)
+
+val journal_errors : Obs.Metric.Counter.t
+(** [serve_journal_errors_total]: journal IO failures survived. *)
+
+val client_retries : Obs.Metric.Counter.t
+(** [serve_client_retries_total]: retried idempotent client calls. *)
+
+val client_timeouts : Obs.Metric.Counter.t
+(** [serve_client_timeouts_total]: client connect/read timeouts. *)
+
+val breaker_open : Obs.Metric.Gauge.t
+(** [serve_breaker_open]: 1 while the load generator's breaker is open. *)
+
+val breaker_opens : Obs.Metric.Counter.t
+(** [serve_breaker_opens_total]: closed→open breaker transitions. *)

@@ -5,6 +5,8 @@ type conn = {
   kind : kind;
   inbuf : Buffer.t;
   mutable alive : bool;
+  mutable last_activity : float;  (* last byte read; drives idle reaping *)
+  mutable frame_started : float;  (* meaningful while [inbuf] holds a partial frame *)
 }
 
 (* Everything below [conns]/[rdbuf] is touched only by the owning worker
@@ -17,14 +19,24 @@ type worker = {
   wake_w : Unix.file_descr;
   conns : (Unix.file_descr, conn) Hashtbl.t;
   rdbuf : Bytes.t;
+  wguard : Guard.t;  (* shared with the server and every other worker *)
+  mutable last_reap : float;  (* sweeps are rate-limited, not per-frame *)
 }
 
-type config = { port : int; http_port : int; workers : int; backlog : int }
+type config = {
+  port : int;
+  http_port : int;
+  workers : int;
+  backlog : int;
+  guard : Guard.config;
+}
 
-let default_config = { port = 4710; http_port = 4711; workers = 2; backlog = 64 }
+let default_config =
+  { port = 4710; http_port = 4711; workers = 2; backlog = 64; guard = Guard.default }
 
 type t = {
   state : State.t;
+  guard : Guard.t;
   stopping : bool Atomic.t;
   served : int Atomic.t;
   start_s : float;
@@ -43,7 +55,7 @@ type t = {
 let read_chunk = 65536
 let wake_byte = Bytes.make 1 '!'
 
-let make_worker () =
+let make_worker guard =
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in
   (* Both ends non-blocking: a full pipe must not stall the accept
      domain, and draining an already-drained pipe must not stall a
@@ -57,6 +69,8 @@ let make_worker () =
     wake_w;
     conns = Hashtbl.create 16;
     rdbuf = Bytes.create read_chunk;
+    wguard = guard;
+    last_reap = Obs.Clock.now_s ();
   }
 
 let wake w = try ignore (Unix.write w.wake_w wake_byte 0 1) with Unix.Unix_error (_e, _, _) -> ()
@@ -67,12 +81,15 @@ let dispatch w fd kind =
   Mutex.unlock w.qlock;
   wake w
 
-let make_conn fd kind = { fd; kind; inbuf = Buffer.create 256; alive = true }
+let make_conn fd kind =
+  let now = Obs.Clock.now_s () in
+  { fd; kind; inbuf = Buffer.create 256; alive = true; last_activity = now; frame_started = now }
 
 let close_conn st c =
   if c.alive then begin
     c.alive <- false;
     Hashtbl.remove st.conns c.fd;
+    (match c.kind with Binary -> Guard.conn_closed st.wguard | Http -> ());
     try Unix.close c.fd with Unix.Unix_error (_e, _, _) -> ()
   end
 
@@ -122,13 +139,43 @@ let handle_request srv req =
         Wire.Error_reply { code = Wire.err_shutting_down; message = "server is shutting down" }
       else Wire.Ack { version = State.reload srv.state }
 
-let respond srv st c req =
+let shed st c =
+  Obs.Metric.Counter.incr Metrics.sheds;
+  send st c
+    (Wire.encode_response
+       (Wire.Error_reply
+          { code = Wire.err_overloaded; message = "server overloaded; retry with backoff" }))
+
+let deadline_hit st c =
+  Obs.Metric.Counter.incr Metrics.deadline_hits;
+  send st c
+    (Wire.encode_response
+       (Wire.Error_reply
+          { code = Wire.err_deadline; message = "request deadline expired before execution" }))
+
+(* [arrival] is when the frame's first byte was read — the deadline
+   budget covers queueing and partial reads, not just execution. Shed
+   and deadline replies leave the connection open: both are explicit
+   typed responses the client backoff logic keys on. *)
+let respond srv st c ~arrival req =
   Metrics.observe_request req;
-  Obs.Metric.Gauge.add Metrics.inflight 1.0;
-  let reply = Obs.Metric.Histogram.time Metrics.latency (fun () -> handle_request srv req) in
-  Obs.Metric.Gauge.add Metrics.inflight (-1.0);
-  Atomic.incr srv.served;
-  send st c (Wire.encode_response reply)
+  let now = Obs.Clock.now_s () in
+  match Guard.admit srv.guard ~now with
+  | Guard.Shed -> shed st c
+  | Guard.Admit ->
+      let deadline = Guard.deadline srv.guard ~now:arrival in
+      if Guard.expired ~deadline ~now then deadline_hit st c
+      else begin
+        Guard.enter srv.guard;
+        Obs.Metric.Gauge.add Metrics.inflight 1.0;
+        let reply =
+          Obs.Metric.Histogram.time Metrics.latency (fun () -> handle_request srv req)
+        in
+        Obs.Metric.Gauge.add Metrics.inflight (-1.0);
+        Guard.leave srv.guard;
+        Atomic.incr srv.served;
+        send st c (Wire.encode_response reply)
+      end
 
 let protocol_error st c e =
   Obs.Metric.Counter.incr Metrics.protocol_errors;
@@ -139,12 +186,13 @@ let protocol_error st c e =
 let drain_binary srv st c =
   let data = Buffer.contents c.inbuf in
   let len = String.length data in
+  let arrival = c.frame_started in
   let rec go pos =
     if (not c.alive) || pos >= len then pos
     else
       match Wire.decode_request ~pos data with
       | Ok (req, next) ->
-          respond srv st c req;
+          respond srv st c ~arrival req;
           go next
       | Error Wire.Truncated -> pos
       | Error e ->
@@ -154,7 +202,10 @@ let drain_binary srv st c =
   let consumed = go 0 in
   if c.alive && consumed > 0 then begin
     Buffer.clear c.inbuf;
-    Buffer.add_substring c.inbuf data consumed (len - consumed)
+    Buffer.add_substring c.inbuf data consumed (len - consumed);
+    (* Whatever is left is the start of a fresh partial frame: its read
+       deadline runs from now, not from the answered batch's arrival. *)
+    if len > consumed then c.frame_started <- Obs.Clock.now_s ()
   end
 
 (* ------------------------------- http ------------------------------ *)
@@ -227,6 +278,9 @@ let handle_conn srv st c =
   | exception Unix.Unix_error (_e, _, _) -> close_conn st c
   | 0 -> close_conn st c
   | n -> (
+      let now = Obs.Clock.now_s () in
+      c.last_activity <- now;
+      if Buffer.length c.inbuf = 0 then c.frame_started <- now;
       Buffer.add_subbytes c.inbuf st.rdbuf 0 n;
       match c.kind with Binary -> drain_binary srv st c | Http -> drain_http srv st c)
 
@@ -237,10 +291,45 @@ let handle_ready srv st fd =
 
 let live_fds st = Hashtbl.fold (fun fd _ acc -> fd :: acc) st.conns []
 
+(* Connection reaper, run by each worker over its own connections at
+   most once a second: idle connections past the idle timeout go first;
+   a connection sitting on a partial frame past the read deadline is a
+   slow-loris hold on a worker slot and is cut too. Sweeping live_fds
+   (not the Hashtbl directly) keeps removal during iteration safe. *)
+let reap_deadline = 1.0
+
+let reap_idle st ~now =
+  let cfg = Guard.config st.wguard in
+  if now -. st.last_reap >= reap_deadline then begin
+    st.last_reap <- now;
+    List.iter
+      (fun fd ->
+        match Hashtbl.find_opt st.conns fd with
+        | None -> ()
+        | Some c ->
+            if
+              cfg.Guard.read_deadline_s > 0.0
+              && Buffer.length c.inbuf > 0
+              && now -. c.frame_started > cfg.Guard.read_deadline_s
+            then begin
+              Obs.Metric.Counter.incr Metrics.reaped_read_deadline;
+              close_conn st c
+            end
+            else if
+              cfg.Guard.idle_timeout_s > 0.0
+              && now -. c.last_activity > cfg.Guard.idle_timeout_s
+            then begin
+              Obs.Metric.Counter.incr Metrics.reaped_idle;
+              close_conn st c
+            end)
+      (live_fds st)
+  end
+
 let worker_step srv st =
-  match Unix.select (st.wake_r :: live_fds st) [] [] 0.5 with
+  (match Unix.select (st.wake_r :: live_fds st) [] [] 0.5 with
   | exception Unix.Unix_error (_e, _, _) -> ()
-  | readable, _, _ -> List.iter (fun fd -> handle_ready srv st fd) readable
+  | readable, _, _ -> List.iter (fun fd -> handle_ready srv st fd) readable);
+  reap_idle st ~now:(Obs.Clock.now_s ())
 
 (* Answer whatever is already readable, then close everything: requests
    that reached the kernel before shutdown still get their replies. *)
@@ -269,10 +358,19 @@ let accept_one srv lfd =
   match Unix.accept ~cloexec:true lfd with
   | exception Unix.Unix_error (_e, _, _) -> ()
   | fd, _addr ->
-      (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error (_e, _, _) -> ());
-      if kind = Binary then Obs.Metric.Counter.incr Metrics.connections;
-      let k = Atomic.fetch_and_add srv.next 1 in
-      dispatch srv.workers.(k mod Array.length srv.workers) fd kind
+      if kind = Binary && not (Guard.conn_opened srv.guard) then begin
+        (* Over the connection cap: refuse at the door rather than let an
+           fd flood starve the workers. The slot was never granted, so
+           nothing to give back. *)
+        Obs.Metric.Counter.incr Metrics.conns_refused;
+        try Unix.close fd with Unix.Unix_error (_e, _, _) -> ()
+      end
+      else begin
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error (_e, _, _) -> ());
+        if kind = Binary then Obs.Metric.Counter.incr Metrics.connections;
+        let k = Atomic.fetch_and_add srv.next 1 in
+        dispatch srv.workers.(k mod Array.length srv.workers) fd kind
+      end
 
 let accept_step srv =
   match Unix.select [ srv.bin_listen; srv.http_listen ] [] [] 0.25 with
@@ -304,6 +402,9 @@ let start ?(config = default_config) state =
   (* A dying peer must not kill the process: EPIPE comes back as a
      Unix_error on the write instead. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* Validate the guard before binding anything: a bad config must not
+     leave bound listeners behind. *)
+  let guard = Guard.create config.guard in
   let bin_listen, bin_port = listen_on ~backlog:config.backlog config.port in
   let http_listen, scrape_port =
     match listen_on ~backlog:config.backlog config.http_port with
@@ -315,6 +416,7 @@ let start ?(config = default_config) state =
   let srv =
     {
       state;
+      guard;
       stopping = Atomic.make false;
       served = Atomic.make 0;
       start_s = Obs.Clock.now_s ();
@@ -322,7 +424,7 @@ let start ?(config = default_config) state =
       http_listen;
       bin_port;
       scrape_port;
-      workers = Array.init (max 1 config.workers) (fun _ -> make_worker ());
+      workers = Array.init (max 1 config.workers) (fun _ -> make_worker guard);
       next = Atomic.make 0;
       accepter = None;
       pool = None;
@@ -336,6 +438,7 @@ let start ?(config = default_config) state =
 let port srv = srv.bin_port
 let http_port srv = srv.scrape_port
 let served srv = Atomic.get srv.served
+let guard srv = srv.guard
 
 let stop srv =
   if not (Atomic.exchange srv.stopping true) then begin

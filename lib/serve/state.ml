@@ -23,6 +23,8 @@ type t = {
   work : Condition.t;  (* generation advanced, or stopping *)
   done_ : Condition.t;  (* applied advanced, or stopping *)
   demand : Traffic.Matrix.t;  (* pending; guarded by [lock] *)
+  base : Traffic.Matrix.t;  (* boot-time matrix, for journal checkpoints *)
+  journal : Journal.t option;  (* appends/compactions under [lock] *)
   mutable generation : int;  (* guarded by [lock] *)
   mutable applied : int;  (* guarded by [lock] *)
   mutable stopped : bool;  (* guarded by [lock] *)
@@ -59,6 +61,73 @@ let build_snapshot ~config ~jobs g power ~pairs ~version tm =
     levels = eval.Response.Framework.levels_activated;
     power_percent = eval.Response.Framework.power_percent;
   }
+
+(* ------------------------------ journal ---------------------------- *)
+
+(* Bit-equality so a checkpoint diff never confuses signed zeros; staged
+   values are validated finite on entry. *)
+let demand_changed a b = not (Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+
+let pair_compare (a1, b1) (a2, b2) =
+  match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
+
+(* Replays journal records onto the boot-time state, before the first
+   snapshot is built. Records are re-validated against this topology (a
+   journal from a different boot configuration must degrade to a partial
+   replay, not a crash); invalid records are skipped. *)
+let apply_journal g demand down records =
+  let nodes = Topo.Graph.node_count g in
+  let links = Array.length down in
+  List.iter
+    (fun r ->
+      match r with
+      | Wire.Demand_update { origin; dest; bps } ->
+          if
+            origin >= 0 && origin < nodes && dest >= 0 && dest < nodes && origin <> dest
+            && Float.is_finite bps && bps >= 0.0
+          then Traffic.Matrix.set demand origin dest bps
+      | Wire.Link_event { link; up } -> if link >= 0 && link < links then down.(link) <- not up
+      | _ -> ())
+    records
+
+(* Checkpoint = the diff of the staged state against the boot-time base:
+   replaying it onto the same base reproduces the staged state exactly,
+   and pairs never touched cost no record. Caller holds [lock]. *)
+let checkpoint_locked t =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      let down = Atomic.get t.live_down in
+      let touched =
+        List.sort_uniq pair_compare
+          (List.rev_append (Traffic.Matrix.pairs t.base) (Traffic.Matrix.pairs t.demand))
+      in
+      let demands =
+        List.filter_map
+          (fun (o, d) ->
+            let v = Traffic.Matrix.get t.demand o d in
+            if demand_changed v (Traffic.Matrix.get t.base o d) then
+              Some (Wire.Demand_update { origin = o; dest = d; bps = v })
+            else None)
+          touched
+      in
+      let downs = ref [] in
+      for link = Array.length down - 1 downto 0 do
+        if down.(link) then downs := Wire.Link_event { link; up = false } :: !downs
+      done;
+      (* An IO failure here is already counted by the journal; the old
+         (longer but equivalent) journal stays in place. *)
+      match Journal.compact j (List.rev_append (List.rev demands) !downs) with
+      | Ok () -> ()
+      | Error _ -> ()
+
+(* Caller holds [lock]. Append failures degrade durability, not service:
+   the update is staged and acked either way, and the failure is counted
+   on serve_journal_errors_total. *)
+let journal_append_locked t req =
+  match t.journal with
+  | None -> ()
+  | Some j -> ( match Journal.append j req with Ok () -> () | Error _ -> ())
 
 (* -------------------------- recompute domain ----------------------- *)
 
@@ -100,7 +169,13 @@ let rebuild t ~target tm =
       Obs.Metric.Counter.incr Metrics.swaps
   | None -> Obs.Metric.Counter.incr Metrics.recompute_errors);
   Mutex.lock t.lock;
-  (match outcome with Some _ -> t.swaps <- t.swaps + 1 | None -> ());
+  (match outcome with
+  | Some _ ->
+      t.swaps <- t.swaps + 1;
+      (* The swap is live: everything staged so far is subsumed by a
+         checkpoint, bounding the journal by the staged state's size. *)
+      checkpoint_locked t
+  | None -> ());
   if target > t.applied then t.applied <- target;
   Condition.broadcast t.done_;
   Mutex.unlock t.lock
@@ -114,9 +189,16 @@ let rec recompute_loop t =
 
 (* ------------------------------ lifecycle -------------------------- *)
 
-let create ?(config = Response.Framework.default) ?(jobs = 1) g power ~pairs ~demand =
+let create ?(config = Response.Framework.default) ?(jobs = 1) ?journal g power ~pairs ~demand =
+  let staged = Traffic.Matrix.copy demand in
+  let down0 = Array.make (Topo.Graph.link_count g) false in
+  (* Replay before the first build: the restart's initial snapshot
+     already contains every update the pre-crash daemon acknowledged. *)
+  (match journal with
+  | Some j -> apply_journal g staged down0 (Journal.entries j)
+  | None -> ());
   let snap0 =
-    build_snapshot ~config ~jobs g power ~pairs ~version:0 (Traffic.Matrix.copy demand)
+    build_snapshot ~config ~jobs g power ~pairs ~version:0 (Traffic.Matrix.copy staged)
   in
   let t =
     {
@@ -126,11 +208,13 @@ let create ?(config = Response.Framework.default) ?(jobs = 1) g power ~pairs ~de
       jobs;
       pairs;
       snap = Atomic.make snap0;
-      live_down = Atomic.make (Array.make (Topo.Graph.link_count g) false);
+      live_down = Atomic.make down0;
       lock = Mutex.create ();
       work = Condition.create ();
       done_ = Condition.create ();
-      demand = Traffic.Matrix.copy demand;
+      demand = staged;
+      base = Traffic.Matrix.copy demand;
+      journal;
       generation = 0;
       applied = 0;
       stopped = false;
@@ -138,6 +222,14 @@ let create ?(config = Response.Framework.default) ?(jobs = 1) g power ~pairs ~de
       worker = None;
     }
   in
+  (* The replayed state is live: checkpoint it so a crash loop cannot
+     re-replay an ever-growing tail. *)
+  (match journal with
+  | Some _ ->
+      Mutex.lock t.lock;
+      checkpoint_locked t;
+      Mutex.unlock t.lock
+  | None -> ());
   t.worker <- Some (Domain.spawn (fun () -> recompute_loop t));
   t
 
@@ -153,7 +245,8 @@ let stop t =
   let w = t.worker in
   t.worker <- None;
   Mutex.unlock t.lock;
-  match w with Some d -> Domain.join d | None -> ()
+  (match w with Some d -> Domain.join d | None -> ());
+  match t.journal with Some j -> Journal.close j | None -> ()
 
 (* ------------------------------- reads ----------------------------- *)
 
@@ -202,6 +295,7 @@ let update_demand t ~origin ~dest ~bps =
   else begin
     Mutex.lock t.lock;
     Traffic.Matrix.set t.demand origin dest bps;
+    journal_append_locked t (Wire.Demand_update { origin; dest; bps });
     let target = bump_locked t in
     Mutex.unlock t.lock;
     Ok target
@@ -215,6 +309,7 @@ let set_link t ~link ~up =
     let next = Array.copy (Atomic.get t.live_down) in
     next.(link) <- not up;
     Atomic.set t.live_down next;
+    journal_append_locked t (Wire.Link_event { link; up });
     let target = bump_locked t in
     Mutex.unlock t.lock;
     Ok target

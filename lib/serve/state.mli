@@ -20,6 +20,7 @@ type t
 val create :
   ?config:Response.Framework.config ->
   ?jobs:int ->
+  ?journal:Journal.t ->
   Topo.Graph.t ->
   Power.Model.t ->
   pairs:(int * int) list ->
@@ -29,6 +30,14 @@ val create :
     server always has tables) and spawns the recompute domain. The
     matrix is copied; the caller's value is not retained. [jobs]
     (default 1) fans out the failover stage of each rebuild.
+
+    With [journal], the journal's replayed records are staged on top of
+    [demand] {e before} the initial build — so a restart after [kill -9]
+    boots straight into the pre-crash state — every accepted
+    {!update_demand}/{!set_link} is appended (fsync'd) before it is
+    acknowledged, and each successful snapshot swap rewrites the journal
+    as a checkpoint of the staged state (a diff against [demand], which
+    must therefore be the same boot matrix across restarts).
     @raise Invalid_argument as {!Response.Framework.precompute} — e.g.
     infeasible always-on demands for the initial matrix. *)
 

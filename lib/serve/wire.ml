@@ -43,6 +43,16 @@ type response =
 let err_malformed = 1
 let err_bad_argument = 2
 let err_shutting_down = 3
+let err_overloaded = 4
+let err_deadline = 5
+
+let error_code_name = function
+  | 1 -> "malformed"
+  | 2 -> "bad_argument"
+  | 3 -> "shutting_down"
+  | 4 -> "overloaded"
+  | 5 -> "deadline"
+  | _ -> "unknown"
 
 (* ------------------------------ tags ------------------------------- *)
 
@@ -294,6 +304,24 @@ let decode_response ?(pos = 0) s =
               Error (Bad_payload (Printf.sprintf "error reply declares %d message bytes" mlen))
             else fin (Error_reply { code; message = String.sub s (body + 3) mlen })
       | t -> Error (Bad_tag t))
+
+(* ------------------------------ crc -------------------------------- *)
+
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xedb88320), computed
+   bitwise so the module keeps zero toplevel mutable state. Journal
+   records are short and fsync-bound, so the table-free form costs
+   nothing measurable. *)
+let crc32 s =
+  let poly = 0xedb88320 in
+  let crc = ref 0xffff_ffff in
+  String.iter
+    (fun ch ->
+      crc := !crc lxor Char.code ch;
+      for _bit = 0 to 7 do
+        crc := if !crc land 1 = 1 then (!crc lsr 1) lxor poly else !crc lsr 1
+      done)
+    s;
+  Int32.of_int (!crc lxor 0xffff_ffff)
 
 (* ------------------------------ misc ------------------------------- *)
 

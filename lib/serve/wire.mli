@@ -79,6 +79,19 @@ val err_bad_argument : int
 
 val err_shutting_down : int
 
+val err_overloaded : int
+(** Admission control shed the request: the server is past its in-flight
+    watermark (or in Degraded mode). Retry after backoff. *)
+
+val err_deadline : int
+(** The request's per-request deadline expired before the server reached
+    it (queueing delay); it was not executed. *)
+
+val error_code_name : int -> string
+(** Stable lowercase name of an [Error_reply] code ("malformed",
+    "overloaded", ...; "unknown" for unassigned codes), used as the
+    label of per-code client/load breakdowns. *)
+
 (** {1 Codecs} *)
 
 type error =
@@ -111,6 +124,10 @@ val decode_request : ?pos:int -> string -> (request * int, error) result
 
 val decode_response : ?pos:int -> string -> (response * int, error) result
 (** As {!decode_request}, for the response direction. *)
+
+val crc32 : string -> int32
+(** CRC-32 (IEEE 802.3) of the whole string — the integrity check behind
+    each {!Journal} record. Pure; no table state. *)
 
 val request_type : request -> string
 (** Stable lowercase name ("path_query", "stats", ...), used as the

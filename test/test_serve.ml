@@ -376,6 +376,555 @@ let test_loopback_session () =
               | Ok body -> Alcotest.(check bool) "scrape non-empty" true (String.length body > 0)
               | Error e -> Alcotest.failf "scrape: %s" e))
 
+(* -------------------------- mutated goldens -------------------------- *)
+
+(* Totality under realistic damage: flip a byte and/or chop the tail of
+   a known-good frame (what the chaos proxy does on the wire) and both
+   decoders must return [Ok] or a typed error without raising and
+   without consuming past the buffer. Pure random strings rarely pass
+   the magic check, so this drives the decoders through the deep
+   payload-parsing branches the random fuzz misses. *)
+let golden_frame_bytes =
+  Array.of_list
+    (List.map
+       (fun (_, v) ->
+         match v with `Req r -> W.encode_request r | `Resp r -> W.encode_response r)
+       golden_frames)
+
+let prop_mutated_golden_total =
+  let gen =
+    let open QCheck.Gen in
+    int_range 0 (Array.length golden_frame_bytes - 1) >>= fun fi ->
+    let n = String.length golden_frame_bytes.(fi) in
+    int_range 0 (n - 1) >>= fun pos ->
+    int_range 1 255 >>= fun flip ->
+    int_range 0 4 >>= fun chop -> return (fi, pos, flip, chop)
+  in
+  QCheck.Test.make ~name:"mutated golden frames decode totally, no over-read" ~count:1000
+    (QCheck.make gen) (fun (fi, pos, flip, chop) ->
+      let s = golden_frame_bytes.(fi) in
+      let b = Bytes.of_string s in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor flip land 0xff));
+      let keep = Int.max 0 (Bytes.length b - chop) in
+      let s = Bytes.sub_string b 0 keep in
+      let total_on decode =
+        match decode s with
+        | Ok ((_ : W.request), consumed) -> consumed >= 0 && consumed <= String.length s
+        | Error (_ : W.error) -> true
+      in
+      let total_on_resp () =
+        match W.decode_response s with
+        | Ok ((_ : W.response), consumed) -> consumed >= 0 && consumed <= String.length s
+        | Error (_ : W.error) -> true
+      in
+      total_on W.decode_request && total_on_resp ())
+
+let test_crc32 () =
+  (* The standard CRC-32 check value (reflected, poly 0xedb88320). *)
+  Alcotest.(check int32) "check vector" 0xCBF43926l (W.crc32 "123456789");
+  Alcotest.(check int32) "empty string" 0l (W.crc32 "");
+  Alcotest.(check bool) "one-bit difference changes the sum" true
+    (not (Int32.equal (W.crc32 "journal-record") (W.crc32 "journal-recorc")))
+
+let test_error_code_names () =
+  List.iter
+    (fun (code, name) -> Alcotest.(check string) name name (W.error_code_name code))
+    [
+      (W.err_malformed, "malformed");
+      (W.err_bad_argument, "bad_argument");
+      (W.err_shutting_down, "shutting_down");
+      (W.err_overloaded, "overloaded");
+      (W.err_deadline, "deadline");
+      (99, "unknown");
+    ]
+
+(* ------------------------------- guard ------------------------------- *)
+
+module G = Serve.Guard
+
+let test_guard_config_validation () =
+  let reject name cfg =
+    match G.create cfg with
+    | exception Invalid_argument _ -> ()
+    | (_ : G.t) -> Alcotest.failf "%s accepted" name
+  in
+  reject "negative max_inflight" { G.default with G.max_inflight = -1 };
+  reject "NaN request budget" { G.default with G.request_budget_s = Float.nan };
+  reject "degrade_low of zero" { G.default with G.degrade_low = 0.0 };
+  reject "degrade_low above one" { G.default with G.degrade_low = 1.5 }
+
+let test_guard_hysteresis () =
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_enabled false)
+    (fun () ->
+      let entries0 = Obs.Metric.Counter.value Serve.Metrics.degraded_entries in
+      let cfg = { G.default with G.max_inflight = 4; degrade_low = 0.5; recover_after_s = 0.5 } in
+      let t = G.create cfg in
+      Alcotest.(check bool) "normal at rest" false (G.degraded t);
+      (match G.admit t ~now:0.0 with
+      | G.Admit -> ()
+      | G.Shed -> Alcotest.fail "shed an idle guard");
+      for _ = 1 to 4 do
+        G.enter t
+      done;
+      Alcotest.(check int) "inflight tracked" 4 (G.inflight t);
+      (match G.admit t ~now:1.0 with
+      | G.Shed -> ()
+      | G.Admit -> Alcotest.fail "admitted at the ceiling");
+      Alcotest.(check bool) "degraded after the ceiling" true (G.degraded t);
+      Alcotest.(check (float 0.0)) "degraded gauge raised" 1.0
+        (Obs.Metric.Gauge.value Serve.Metrics.guard_degraded);
+      Alcotest.(check (float 0.0)) "one degraded entry" (entries0 +. 1.0)
+        (Obs.Metric.Counter.value Serve.Metrics.degraded_entries);
+      (* Above the low watermark (0.5 * 4 = 2): hysteresis keeps shedding
+         even though we are back under the ceiling. *)
+      G.leave t;
+      (match G.admit t ~now:2.0 with
+      | G.Shed -> ()
+      | G.Admit -> Alcotest.fail "admitted above the low watermark while degraded");
+      (* Below the watermark the guard admits again but stays Degraded
+         until the low streak outlasts recover_after_s. *)
+      G.leave t;
+      G.leave t;
+      (match G.admit t ~now:3.0 with
+      | G.Admit -> ()
+      | G.Shed -> Alcotest.fail "shed below the low watermark");
+      Alcotest.(check bool) "still degraded mid-streak" true (G.degraded t);
+      (match G.admit t ~now:3.4 with
+      | G.Admit -> ()
+      | G.Shed -> Alcotest.fail "shed mid-streak");
+      Alcotest.(check bool) "streak not yet complete" true (G.degraded t);
+      (match G.admit t ~now:3.6 with
+      | G.Admit -> ()
+      | G.Shed -> Alcotest.fail "shed at recovery");
+      Alcotest.(check bool) "recovered after a sustained low streak" false (G.degraded t);
+      Alcotest.(check (float 0.0)) "degraded gauge cleared" 0.0
+        (Obs.Metric.Gauge.value Serve.Metrics.guard_degraded);
+      G.leave t;
+      (* A fresh spike re-enters Degraded: the machine is reusable. *)
+      for _ = 1 to 4 do
+        G.enter t
+      done;
+      (match G.admit t ~now:4.0 with
+      | G.Shed -> ()
+      | G.Admit -> Alcotest.fail "second spike admitted");
+      Alcotest.(check bool) "second degradation" true (G.degraded t))
+
+let test_guard_deadlines_and_conns () =
+  let t = G.create { G.default with G.request_budget_s = 1.0; max_conns = 2 } in
+  let deadline = G.deadline t ~now:10.0 in
+  Alcotest.(check bool) "not expired inside the budget" false
+    (G.expired ~deadline ~now:10.5);
+  Alcotest.(check bool) "expired past the budget" true (G.expired ~deadline ~now:11.5);
+  Alcotest.(check (float 1e-9)) "remaining inside the budget" 0.5
+    (G.remaining_s ~deadline ~now:10.5);
+  Alcotest.(check (float 0.0)) "remaining clamps at zero" 0.0
+    (G.remaining_s ~deadline ~now:12.0);
+  let unlimited = G.create { G.default with G.request_budget_s = 0.0 } in
+  Alcotest.(check bool) "zero budget never expires" false
+    (G.expired ~deadline:(G.deadline unlimited ~now:10.0) ~now:1.0e12);
+  Alcotest.(check bool) "connection cap admits to the limit" true
+    (G.conn_opened t && G.conn_opened t);
+  Alcotest.(check bool) "third connection refused" false (G.conn_opened t);
+  G.conn_closed t;
+  Alcotest.(check bool) "freed slot admits again" true (G.conn_opened t);
+  Alcotest.(check int) "conns tracked" 2 (G.conns t)
+
+(* ------------------------------ journal ------------------------------ *)
+
+let with_temp_journal f =
+  let path = Filename.temp_file "test-serve" ".journal" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let journal_open_ok path =
+  match Serve.Journal.open_ path with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "journal open: %s" e
+
+let append_ok j r =
+  match Serve.Journal.append j r with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "journal append: %s" e
+
+let req_testable = Alcotest.testable (Fmt.of_to_string (fun r -> to_hex (W.encode_request r))) W.equal_request
+
+let test_journal_roundtrip () =
+  with_temp_journal (fun path ->
+      let du = W.Demand_update { origin = 3; dest = 9; bps = 1.5e9 } in
+      let le = W.Link_event { link = 4; up = false } in
+      let j = journal_open_ok path in
+      Alcotest.(check (list req_testable)) "fresh journal is empty" [] (Serve.Journal.entries j);
+      Alcotest.(check bool) "fresh journal is whole" false (Serve.Journal.torn j);
+      append_ok j du;
+      append_ok j le;
+      (match Serve.Journal.append j W.Stats with
+      | exception Invalid_argument _ -> ()
+      | Ok () | Error _ -> Alcotest.fail "non-journalable request accepted");
+      Serve.Journal.close j;
+      let j2 = journal_open_ok path in
+      Alcotest.(check (list req_testable)) "records replay in order" [ du; le ]
+        (Serve.Journal.entries j2);
+      (* Compaction replaces the contents; appends continue after it. *)
+      let du2 = W.Demand_update { origin = 1; dest = 2; bps = 7.0e8 } in
+      (match Serve.Journal.compact j2 [ du2 ] with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "compact: %s" e);
+      append_ok j2 le;
+      Serve.Journal.close j2;
+      let j3 = journal_open_ok path in
+      Alcotest.(check (list req_testable)) "checkpoint plus tail" [ du2; le ]
+        (Serve.Journal.entries j3);
+      Serve.Journal.close j3)
+
+let test_journal_torn_tail () =
+  with_temp_journal (fun path ->
+      let du = W.Demand_update { origin = 3; dest = 9; bps = 1.5e9 } in
+      let j = journal_open_ok path in
+      append_ok j du;
+      Serve.Journal.close j;
+      (* A half-written record: the length word promises 32 bytes, the
+         crash left nine. *)
+      let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+      output_string oc "\x00\x00\x00\x20torn-tail";
+      close_out oc;
+      let j2 = journal_open_ok path in
+      Alcotest.(check bool) "torn tail detected" true (Serve.Journal.torn j2);
+      Alcotest.(check (list req_testable)) "whole records survive" [ du ]
+        (Serve.Journal.entries j2);
+      (* The truncation put the file back on a record boundary: appends
+         after a torn open replay cleanly. *)
+      let le = W.Link_event { link = 0; up = true } in
+      append_ok j2 le;
+      Serve.Journal.close j2;
+      let j3 = journal_open_ok path in
+      Alcotest.(check bool) "healed after truncation" false (Serve.Journal.torn j3);
+      Alcotest.(check (list req_testable)) "append after heal" [ du; le ]
+        (Serve.Journal.entries j3);
+      Serve.Journal.close j3)
+
+let test_journal_corrupt_record () =
+  with_temp_journal (fun path ->
+      let j = journal_open_ok path in
+      append_ok j (W.Demand_update { origin = 3; dest = 9; bps = 1.5e9 });
+      append_ok j (W.Link_event { link = 4; up = false });
+      Serve.Journal.close j;
+      (* Flip one payload byte of the first record: the CRC must reject
+         it, and everything from the corruption on is dropped. *)
+      let ic = open_in_bin path in
+      let image = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let b = Bytes.of_string image in
+      Bytes.set b 12 (Char.chr (Char.code (Bytes.get b 12) lxor 0x40));
+      let oc = open_out_bin path in
+      output_bytes oc b;
+      close_out oc;
+      let j2 = journal_open_ok path in
+      Alcotest.(check bool) "corruption detected" true (Serve.Journal.torn j2);
+      Alcotest.(check (list req_testable)) "corrupt suffix dropped" []
+        (Serve.Journal.entries j2);
+      Serve.Journal.close j2)
+
+(* ------------------------- crash-restart drill ------------------------ *)
+
+(* Everything resolve-visible, serialized: "byte-identical" below means
+   the wire bytes of every answer plus the evaluation figures (power as
+   IEEE bits) — the snapshot version is excluded, a restart resets it. *)
+let state_bytes st pairs =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (origin, dest) ->
+      let status, level, nodes = Serve.State.resolve st ~origin ~dest in
+      Buffer.add_string b (W.encode_response (W.Path_reply { status; level; nodes })))
+    pairs;
+  Buffer.add_string b (string_of_int (Serve.State.levels_activated st));
+  Buffer.add_string b (Int64.to_string (Int64.bits_of_float (Serve.State.power_percent st)));
+  Buffer.contents b
+
+let test_journal_restart_identity () =
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_enabled false)
+    (fun () ->
+      with_temp_journal (fun path ->
+          let g = Topo.Geant.make () in
+          let power = Power.Model.cisco12000 g in
+          let pairs = Traffic.Gravity.random_node_pairs g ~seed:7 ~fraction:0.5 in
+          let demand = Traffic.Gravity.make g ~pairs ~total:(Eutil.Units.gbps 5.0) () in
+          let appends0 = Obs.Metric.Counter.value Serve.Metrics.journal_appends in
+          let compactions0 = Obs.Metric.Counter.value Serve.Metrics.journal_compactions in
+          let step = Eutil.Units.to_float (Eutil.Units.gbps 0.2) in
+          let b1 =
+            let j = journal_open_ok path in
+            let s1 = Serve.State.create ~journal:j g power ~pairs ~demand in
+            List.iteri
+              (fun i (origin, dest) ->
+                if i < 3 then
+                  match Serve.State.update_demand s1 ~origin ~dest ~bps:(step *. float_of_int (i + 1)) with
+                  | Ok (_ : int) -> ()
+                  | Error e -> Alcotest.failf "update: %s" e)
+              pairs;
+            (match Serve.State.set_link s1 ~link:0 ~up:false with
+            | Ok (_ : int) -> ()
+            | Error e -> Alcotest.failf "set_link: %s" e);
+            ignore (Serve.State.reload s1);
+            let b = state_bytes s1 pairs in
+            Serve.State.stop s1;
+            b
+          in
+          Alcotest.(check bool) "updates journaled" true
+            (Obs.Metric.Counter.value Serve.Metrics.journal_appends >= appends0 +. 4.0);
+          Alcotest.(check bool) "checkpoint ran on swap" true
+            (Obs.Metric.Counter.value Serve.Metrics.journal_compactions > compactions0);
+          (* Simulated kill -9 + restart: same boot matrix, replay the
+             journal the crash left behind. *)
+          let j2 = journal_open_ok path in
+          Alcotest.(check bool) "clean journal after stop" false (Serve.Journal.torn j2);
+          let s2 = Serve.State.create ~journal:j2 g power ~pairs ~demand in
+          let b2 = state_bytes s2 pairs in
+          Serve.State.stop s2;
+          Alcotest.(check string) "restart rebuilds byte-identical state" (to_hex b1) (to_hex b2);
+          (* And once more with a torn tail glued on: the half-written
+             record must vanish without changing the outcome. *)
+          let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+          output_string oc "\x00\x00\x00\x20torn-tail";
+          close_out oc;
+          let j3 = journal_open_ok path in
+          Alcotest.(check bool) "torn tail detected on restart" true (Serve.Journal.torn j3);
+          let s3 = Serve.State.create ~journal:j3 g power ~pairs ~demand in
+          let b3 = state_bytes s3 pairs in
+          Serve.State.stop s3;
+          Alcotest.(check string) "torn tail dropped, state unchanged" (to_hex b1) (to_hex b3)))
+
+(* ------------------------- server resilience ------------------------- *)
+
+let serve_fixture ?(guard = G.default) f =
+  Obs.set_enabled true;
+  let g = Topo.Geant.make () in
+  let power = Power.Model.cisco12000 g in
+  let pairs = Traffic.Gravity.random_node_pairs g ~seed:7 ~fraction:0.5 in
+  let demand = Traffic.Gravity.make g ~pairs ~total:(Eutil.Units.gbps 5.0) () in
+  let state = Serve.State.create g power ~pairs ~demand in
+  let server =
+    Serve.Server.start
+      ~config:{ Serve.Server.default_config with port = 0; http_port = 0; workers = 2; guard }
+      state
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop server;
+      Serve.State.stop state;
+      Obs.set_enabled false)
+    (fun () -> f server (Array.of_list pairs))
+
+let request_port port req = Serve.Client.request ~connect_timeout_s:2.0 ~timeout_s:5.0 ~port req
+
+let test_server_shedding () =
+  serve_fixture
+    ~guard:{ G.default with G.max_inflight = 2; degrade_low = 0.5; recover_after_s = 0.05 }
+    (fun server pairs ->
+      let port = Serve.Server.port server in
+      let guard = Serve.Server.guard server in
+      let origin, dest = pairs.(0) in
+      let sheds0 = Obs.Metric.Counter.value Serve.Metrics.sheds in
+      let retries0 = Obs.Metric.Counter.value Serve.Metrics.client_retries in
+      (* Hold the in-flight ceiling from outside: every request the wire
+         delivers while we sit at the ceiling must shed. *)
+      G.enter guard;
+      G.enter guard;
+      (match request_port port (W.Path_query { origin; dest }) with
+      | Ok (W.Error_reply { code; _ }) ->
+          Alcotest.(check int) "overloaded error code" W.err_overloaded code
+      | Ok _ -> Alcotest.fail "expected err_overloaded while at the ceiling"
+      | Error e -> Alcotest.failf "shed request failed on transport: %s" e);
+      Alcotest.(check bool) "shed counted" true
+        (Obs.Metric.Counter.value Serve.Metrics.sheds > sheds0);
+      Alcotest.(check bool) "guard degraded on the wire path" true (G.degraded guard);
+      (* A retrying client treats the shed as transient and burns its
+         budget — counted on the retry counter. *)
+      (match
+         Serve.Client.request ~connect_timeout_s:2.0 ~timeout_s:5.0
+           ~retry:{ Serve.Client.attempts = 2; base_backoff_s = 0.01; max_backoff_s = 0.02; seed = 3 }
+           ~port (W.Path_query { origin; dest })
+       with
+      | Ok (W.Error_reply { code; _ }) ->
+          Alcotest.(check int) "still overloaded after retries" W.err_overloaded code
+      | Ok _ -> Alcotest.fail "expected err_overloaded after retries"
+      | Error e -> Alcotest.failf "retried request failed on transport: %s" e);
+      Alcotest.(check bool) "retries counted" true
+        (Obs.Metric.Counter.value Serve.Metrics.client_retries > retries0);
+      (* Release the ceiling: after the hysteresis streak the guard
+         recovers and requests flow again. *)
+      G.leave guard;
+      G.leave guard;
+      (* Recovery needs a sustained low streak, so keep probing: early
+         probes may be admitted (below the watermark) or shed (streak
+         voided) while the guard is still Degraded. *)
+      let rec recover tries =
+        if tries > 200 then Alcotest.fail "server never recovered from Degraded"
+        else begin
+          (match request_port port (W.Path_query { origin; dest }) with
+          | Ok (W.Path_reply _) -> ()
+          | Ok (W.Error_reply { code; _ }) when code = W.err_overloaded -> ()
+          | Ok _ -> Alcotest.fail "unexpected reply during recovery"
+          | Error e -> Alcotest.failf "recovery probe failed: %s" e);
+          if G.degraded guard then begin
+            Unix.sleepf 0.02;
+            recover (tries + 1)
+          end
+        end
+      in
+      recover 0;
+      Alcotest.(check bool) "guard back to normal" false (G.degraded guard);
+      match request_port port (W.Path_query { origin; dest }) with
+      | Ok (W.Path_reply _) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "recovered server did not serve")
+
+let test_server_deadline () =
+  serve_fixture
+    ~guard:{ G.default with G.request_budget_s = 1.0e-9 }
+    (fun server pairs ->
+      let port = Serve.Server.port server in
+      let origin, dest = pairs.(0) in
+      let hits0 = Obs.Metric.Counter.value Serve.Metrics.deadline_hits in
+      (match request_port port (W.Path_query { origin; dest }) with
+      | Ok (W.Error_reply { code; _ }) ->
+          Alcotest.(check int) "deadline error code" W.err_deadline code
+      | Ok _ -> Alcotest.fail "expected err_deadline under a 1 ns budget"
+      | Error e -> Alcotest.failf "deadline request failed on transport: %s" e);
+      Alcotest.(check bool) "deadline hit counted" true
+        (Obs.Metric.Counter.value Serve.Metrics.deadline_hits > hits0))
+
+let test_server_conn_cap () =
+  serve_fixture
+    ~guard:{ G.default with G.max_conns = 1 }
+    (fun server pairs ->
+      let port = Serve.Server.port server in
+      let origin, dest = pairs.(0) in
+      let refused0 = Obs.Metric.Counter.value Serve.Metrics.conns_refused in
+      match Serve.Client.connect ~port () with
+      | Error e -> Alcotest.failf "first connect: %s" e
+      | Ok c1 ->
+          Fun.protect
+            ~finally:(fun () -> Serve.Client.close c1)
+            (fun () ->
+              (match Serve.Client.call c1 (W.Path_query { origin; dest }) with
+              | Ok (W.Path_reply _) -> ()
+              | Ok _ | Error _ -> Alcotest.fail "query on the admitted connection failed");
+              (* The cap counts accepted binary sockets: the second TCP
+                 connect lands, but the server closes it at admission. *)
+              match Serve.Client.connect ~port () with
+              | Error (_ : string) -> ()
+              | Ok c2 ->
+                  Fun.protect
+                    ~finally:(fun () -> Serve.Client.close c2)
+                    (fun () ->
+                      (match Serve.Client.call ~timeout_s:2.0 c2 (W.Path_query { origin; dest }) with
+                      | Error (_ : string) -> ()
+                      | Ok _ -> Alcotest.fail "request served over the connection cap");
+                      Alcotest.(check bool) "refusal counted" true
+                        (Obs.Metric.Counter.value Serve.Metrics.conns_refused > refused0))))
+
+let test_server_reaper () =
+  serve_fixture
+    ~guard:{ G.default with G.idle_timeout_s = 0.05; read_deadline_s = 0.05 }
+    (fun server pairs ->
+      let port = Serve.Server.port server in
+      let origin, dest = pairs.(0) in
+      let idle0 = Obs.Metric.Counter.value Serve.Metrics.reaped_idle in
+      let slow0 = Obs.Metric.Counter.value Serve.Metrics.reaped_read_deadline in
+      (* Slow loris over a raw socket: half a frame, then silence — the
+         read deadline, not the idle timeout, must collect it. *)
+      let loris = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect loris (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let frame = W.encode_request (W.Path_query { origin; dest }) in
+      let half = String.length frame / 2 in
+      ignore (Unix.write_substring loris frame 0 half);
+      match Serve.Client.connect ~port () with
+      | Error e ->
+          Unix.close loris;
+          Alcotest.failf "connect: %s" e
+      | Ok idle_conn ->
+          Fun.protect
+            ~finally:(fun () ->
+              Serve.Client.close idle_conn;
+              try Unix.close loris with Unix.Unix_error (_e, _, _) -> ())
+            (fun () ->
+              (* Warm the idle connection so it is live, then go silent. *)
+              (match Serve.Client.call idle_conn (W.Path_query { origin; dest }) with
+              | Ok (W.Path_reply _) -> ()
+              | Ok _ | Error _ -> Alcotest.fail "warm-up query failed");
+              (* Reaping sweeps are rate-limited to one per second per
+                 worker: poll the counters with a generous ceiling. *)
+              let deadline = Unix.gettimeofday () +. 8.0 in
+              let rec wait () =
+                let idle_reaped = Obs.Metric.Counter.value Serve.Metrics.reaped_idle > idle0 in
+                let loris_reaped =
+                  Obs.Metric.Counter.value Serve.Metrics.reaped_read_deadline > slow0
+                in
+                if idle_reaped && loris_reaped then ()
+                else if Unix.gettimeofday () > deadline then
+                  Alcotest.failf "reaper missed a connection (idle %b, loris %b)" idle_reaped
+                    loris_reaped
+                else begin
+                  Unix.sleepf 0.1;
+                  wait ()
+                end
+              in
+              wait ();
+              (* A reaped connection is dead: the next call fails. *)
+              match Serve.Client.call idle_conn (W.Path_query { origin; dest }) with
+              | Error (_ : string) -> ()
+              | Ok _ -> Alcotest.fail "reaped connection still answered"))
+
+(* ------------------------ chaos proxy + breaker ----------------------- *)
+
+let test_breaker_via_blackhole () =
+  serve_fixture (fun server pairs ->
+      let proxy = Serve.Chaosproxy.start ~seed:5 ~upstream_port:(Serve.Server.port server) () in
+      Fun.protect
+        ~finally:(fun () -> Serve.Chaosproxy.stop proxy)
+        (fun () ->
+          let opens0 = Obs.Metric.Counter.value Serve.Metrics.breaker_opens in
+          let timeouts0 = Obs.Metric.Counter.value Serve.Metrics.client_timeouts in
+          Serve.Chaosproxy.set_fault proxy Serve.Chaosproxy.Blackhole;
+          let cfg =
+            {
+              Serve.Load.default with
+              Serve.Load.port = Serve.Chaosproxy.port proxy;
+              conns = 1;
+              requests = 4;
+              pairs;
+              timeout_s = 0.1;
+              retries = 0;
+              breaker_failures = 2;
+              breaker_cooldown_s = 0.05;
+              seed = 13;
+            }
+          in
+          match Serve.Load.run cfg with
+          | Error e -> Alcotest.failf "load through the blackhole: %s" e
+          | Ok r ->
+              Alcotest.(check int) "nothing completed" 0 r.Serve.Load.completed;
+              Alcotest.(check int) "every request failed" 4 r.Serve.Load.failed;
+              Alcotest.(check bool) "timeouts detected" true (r.Serve.Load.timeouts >= 2);
+              Alcotest.(check bool) "breaker opened" true (r.Serve.Load.breaker_opens >= 1);
+              Alcotest.(check bool) "breaker opens counted" true
+                (Obs.Metric.Counter.value Serve.Metrics.breaker_opens > opens0);
+              Alcotest.(check bool) "client timeouts counted" true
+                (Obs.Metric.Counter.value Serve.Metrics.client_timeouts > timeouts0);
+              (* Fault cleared: the same path serves cleanly again. *)
+              Serve.Chaosproxy.set_fault proxy Serve.Chaosproxy.Pass;
+              let origin, dest = pairs.(0) in
+              match
+                Serve.Client.request ~connect_timeout_s:2.0 ~timeout_s:2.0
+                  ~retry:Serve.Client.default_retry
+                  ~port:(Serve.Chaosproxy.port proxy)
+                  (W.Path_query { origin; dest })
+              with
+              | Ok (W.Path_reply _) -> ()
+              | Ok _ | Error _ -> Alcotest.fail "proxy path did not recover after the fault"))
+
 (* ------------------------------- suite ------------------------------- *)
 
 let () =
@@ -387,6 +936,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_response_roundtrip;
           QCheck_alcotest.to_alcotest prop_request_stream;
           QCheck_alcotest.to_alcotest prop_decode_never_raises;
+          QCheck_alcotest.to_alcotest prop_mutated_golden_total;
           Alcotest.test_case "truncated prefixes" `Quick test_truncated_prefixes;
           Alcotest.test_case "bad magic" `Quick test_bad_magic;
           Alcotest.test_case "bad version" `Quick test_bad_version;
@@ -396,8 +946,31 @@ let () =
           Alcotest.test_case "empty payload" `Quick test_empty_payload;
           Alcotest.test_case "encode validation" `Quick test_encode_validation;
           Alcotest.test_case "golden frames" `Quick test_golden_frames;
+          Alcotest.test_case "crc32" `Quick test_crc32;
+          Alcotest.test_case "error code names" `Quick test_error_code_names;
+        ] );
+      ( "guard",
+        [
+          Alcotest.test_case "config validation" `Quick test_guard_config_validation;
+          Alcotest.test_case "hysteresis" `Quick test_guard_hysteresis;
+          Alcotest.test_case "deadlines and connection caps" `Quick test_guard_deadlines_and_conns;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "round-trip and compaction" `Quick test_journal_roundtrip;
+          Alcotest.test_case "torn tail" `Quick test_journal_torn_tail;
+          Alcotest.test_case "corrupt record" `Quick test_journal_corrupt_record;
+          Alcotest.test_case "crash-restart identity" `Quick test_journal_restart_identity;
         ] );
       ( "export",
         [ Alcotest.test_case "prometheus page identity" `Quick test_prometheus_page_identity ] );
       ("loopback", [ Alcotest.test_case "session" `Quick test_loopback_session ]);
+      ( "resilience",
+        [
+          Alcotest.test_case "shedding and recovery" `Quick test_server_shedding;
+          Alcotest.test_case "request deadline" `Quick test_server_deadline;
+          Alcotest.test_case "connection cap" `Quick test_server_conn_cap;
+          Alcotest.test_case "reaper" `Quick test_server_reaper;
+          Alcotest.test_case "breaker via blackhole" `Quick test_breaker_via_blackhole;
+        ] );
     ]
