@@ -485,3 +485,65 @@ let cost () =
         Float.abs (a -. b) <= 1e-6 *. (1.0 +. Float.abs a)
     | _ -> false);
   cost_timings := List.rev !cost_timings
+
+(* Self-hosted analyzer wall-clocks ("analyze" section): every pass of
+   `respctl analyze` timed over the repo's own sources — the price CI
+   pays on each @analyze run, with the call-graph build (shared by the
+   four interprocedural passes) broken out. Skipped when the sources
+   are not at hand (run from outside the repository root). *)
+
+let analyze_timings : (string * float) list ref = ref []
+
+let analyze () =
+  section "Analyze: self-hosted static-analysis pass wall-clocks";
+  analyze_timings := [];
+  if not (Sys.file_exists "lib" && Sys.file_exists "bin") then
+    kvf "skipped" "%s" "sources not found (run from the repository root)"
+  else begin
+    let record name dur = analyze_timings := (name, dur) :: !analyze_timings in
+    let dirs = [ "lib"; "bin" ] in
+    let entries = List.filter Sys.file_exists [ "bench"; "test"; "examples" ] in
+    let manifest name =
+      let path = Filename.concat "check" name in
+      if Sys.file_exists path then Check.Share.parse_manifest (Check.Srclint.read_file path)
+      else []
+    in
+    let timed name f =
+      let r, d = Obs.Span.timed ("bench.analyze." ^ name) f in
+      record name d;
+      (r, d)
+    in
+    (* Mirror the dune aliases: @lint covers lib/bin/bench/test (examples
+       keep their deliberate violations), @doc covers everything. *)
+    let lint_dirs = List.filter Sys.file_exists [ "lib"; "bin"; "bench"; "test" ] in
+    let lint, d_lint = timed "lint" (fun () -> Check.Srclint.lint_paths lint_dirs) in
+    let flow, d_flow = timed "flow" (fun () -> Check.Flow.analyze_paths dirs) in
+    let graph, d_graph = timed "callgraph" (fun () -> Check.Callgraph.build ~entries dirs) in
+    let eff, d_eff = timed "effect" (fun () -> Check.Effect.analyze graph) in
+    let share, d_share =
+      timed "share" (fun () -> Check.Share.analyze ~manifest:(manifest "parallel.json") graph)
+    in
+    let cost, d_cost =
+      timed "cost" (fun () -> Check.Cost.analyze ~manifest:(manifest "cost.json") graph)
+    in
+    let lock, d_lock =
+      timed "locks" (fun () -> Check.Lock.analyze ~manifest:(manifest "locks.json") graph)
+    in
+    let doc, d_doc = timed "doc" (fun () -> Check.Doc.check_paths (dirs @ entries)) in
+    row "  %-12s %-10s %s@." "pass" "seconds" "findings";
+    List.iter
+      (fun (name, d, fs) -> row "  %-12s %-10.4f %d@." name d (List.length fs))
+      [
+        ("lint", d_lint, lint);
+        ("flow", d_flow, flow);
+        ("effect", d_eff, eff);
+        ("share", d_share, share);
+        ("cost", d_cost, cost);
+        ("locks", d_lock, lock);
+        ("doc", d_doc, doc);
+      ];
+    row "  %-12s %-10.4f (shared by effect/share/cost/locks)@." "callgraph" d_graph;
+    kvf "errors across all passes" "%d"
+      (List.length (Check.Finding.errors (flow @ eff @ share @ cost @ lock)));
+    analyze_timings := List.rev !analyze_timings
+  end

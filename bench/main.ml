@@ -33,6 +33,7 @@ let sections : (string * (unit -> unit)) list =
     ("chaos", Extensions.chaos);
     ("parallel", Extensions.parallel);
     ("cost", Extensions.cost);
+    ("analyze", Extensions.analyze);
     ("serve", Servebench.serve);
     ("micro", Micro.run);
   ]
@@ -76,6 +77,21 @@ let emit_json path timings total_s =
                     (Obs.Export.json_escape workload) dur)
                 ts))
   in
+  (* Per-pass wall-clocks of the self-hosted static analysis ("analyze"
+     section): what each `respctl analyze` pass costs over the repo's
+     own sources. *)
+  let analyze_json =
+    match !Extensions.analyze_timings with
+    | [] -> ""
+    | ts ->
+        Printf.sprintf ",\"analyze\":[%s]"
+          (String.concat ","
+             (List.map
+                (fun (pass, dur) ->
+                  Printf.sprintf "{\"pass\":\"%s\",\"seconds\":%.6f}"
+                    (Obs.Export.json_escape pass) dur)
+                ts))
+  in
   (* Loopback serving sweep ("serve" section): closed-loop throughput and
      latency percentiles against an in-process respctld, per client
      connection count. *)
@@ -95,9 +111,9 @@ let emit_json path timings total_s =
                 ts))
   in
   let doc =
-    Printf.sprintf "{\"sections\":[%s],\"total_seconds\":%.6f%s%s%s,\"obs\":%s}"
+    Printf.sprintf "{\"sections\":[%s],\"total_seconds\":%.6f%s%s%s%s,\"obs\":%s}"
       (String.concat "," (List.map section_json timings))
-      total_s parallel_json cost_json serve_json
+      total_s parallel_json cost_json analyze_json serve_json
       (String.trim (Obs.Export.to_json samples))
   in
   (match Obs.Export.validate_json doc with

@@ -309,22 +309,41 @@ let analyze_cmd =
     in
     Arg.(value & opt (some string) None & info [ "cost" ] ~docv:"FILE" ~doc)
   in
+  let locks_arg =
+    let doc =
+      "Lock-discipline manifest (JSON object with \"order\", \"io_locks\", \"hot\" and \
+       \"surface\" arrays); enables the mutex analysis (Check.Lock): lock-order-cycle, \
+       blocking-under-lock, lock-held-io, atomic-rmw and useless-lock."
+    in
+    Arg.(value & opt (some string) None & info [ "locks" ] ~docv:"FILE" ~doc)
+  in
+  let sarif_arg =
+    let doc =
+      "Also write every pass's findings to $(docv) as SARIF 2.1.0 (one run, rule table from \
+       --list-rules), for CI and editor ingestion. Exit codes are unchanged."
+    in
+    Arg.(value & opt (some string) None & info [ "sarif" ] ~docv:"FILE" ~doc)
+  in
   let rule_severity rule =
     match rule with
-    | "undocumented-raise" | "dead-function" | "unguarded-global" | "alloc-in-hot-loop" -> "warn"
+    | "undocumented-raise" | "dead-function" | "unguarded-global" | "alloc-in-hot-loop"
+    | "blocking-under-lock" | "useless-lock" ->
+        "warn"
     | _ -> "error"
   in
   let rule_ratchet pass rule =
     match rule with
-    | "undocumented-raise" | "dead-function" | "unguarded-global" | "alloc-in-hot-loop" ->
+    | "undocumented-raise" | "dead-function" | "unguarded-global" | "alloc-in-hot-loop"
+    | "blocking-under-lock" | "useless-lock" ->
         "check/budget.json"
     | "shared-write-reachable" | "prng-shared" | "parallel-manifest" -> "check/parallel.json"
     | "quadratic-list-op" | "rebuild-in-loop" | "memo-unsafe" | "cost-manifest" ->
         "check/cost.json"
+    | "lock-order-cycle" | "lock-held-io" | "atomic-rmw" | "lock-manifest" -> "check/locks.json"
     | "budget-exceeded" -> "check/budget.json"
     | _ -> if pass = "lint" then "lint: allow pragma" else "-"
   in
-  let run dirs entries budget parallel cost json list_rules full_list =
+  let run dirs entries budget parallel cost locks sarif json list_rules full_list =
     if full_list then begin
       Format.printf "%-6s %-24s %-6s %-20s %s@." "PASS" "RULE" "SEV" "RATCHET" "DESCRIPTION";
       List.iter
@@ -340,23 +359,26 @@ let analyze_cmd =
           ("effect", Check.Effect.rules);
           ("share", Check.Share.rules);
           ("cost", Check.Cost.rules);
+          ("lock", Check.Lock.rules);
         ];
       0
     end
     else if list_rules then begin
       List.iter
         (fun (id, doc) -> Format.printf "%-22s %s@." id doc)
-        (Check.Flow.rules @ Check.Effect.rules @ Check.Share.rules @ Check.Cost.rules);
+        (Check.Flow.rules @ Check.Effect.rules @ Check.Share.rules @ Check.Cost.rules
+       @ Check.Lock.rules);
       0
     end
     else begin
       let budget_paths = match budget with Some b -> [ b ] | None -> [] in
       let parallel_paths = match parallel with Some p -> [ p ] | None -> [] in
       let cost_paths = match cost with Some c -> [ c ] | None -> [] in
+      let locks_paths = match locks with Some l -> [ l ] | None -> [] in
       match
         List.filter
           (fun p -> not (Sys.file_exists p))
-          (dirs @ entries @ budget_paths @ parallel_paths @ cost_paths)
+          (dirs @ entries @ budget_paths @ parallel_paths @ cost_paths @ locks_paths)
       with
       | p :: _ ->
           Format.eprintf "analyze: no such path %s@." p;
@@ -383,11 +405,18 @@ let analyze_cmd =
                 try Ok (Some (Check.Share.parse_manifest (Check.Srclint.read_file file)))
                 with Invalid_argument msg -> Error msg)
           in
-          match (allowed, manifest, cost_manifest) with
-          | Error msg, _, _ | _, Error msg, _ | _, _, Error msg ->
+          let locks_manifest =
+            match locks with
+            | None -> Ok None
+            | Some file -> (
+                try Ok (Some (Check.Share.parse_manifest (Check.Srclint.read_file file)))
+                with Invalid_argument msg -> Error msg)
+          in
+          match (allowed, manifest, cost_manifest, locks_manifest) with
+          | Error msg, _, _, _ | _, Error msg, _, _ | _, _, Error msg, _ | _, _, _, Error msg ->
               Format.eprintf "analyze: %s@." msg;
               2
-          | Ok allowed, Ok manifest, Ok cost_manifest -> (
+          | Ok allowed, Ok manifest, Ok cost_manifest, Ok locks_manifest -> (
               let flow = Check.Flow.analyze_paths dirs in
               let graph = Check.Callgraph.build ~entries dirs in
               let effect = Check.Effect.analyze graph in
@@ -397,50 +426,81 @@ let analyze_cmd =
                 | None -> []
                 | Some m -> Check.Cost.analyze ~manifest:m graph
               in
+              let lock =
+                match locks_manifest with
+                | None -> []
+                | Some m -> Check.Lock.analyze ~manifest:m graph
+              in
               let ratchet =
                 match allowed with
                 | None -> []
-                | Some budget -> Check.Effect.over_budget ~budget (effect @ share @ cost)
+                | Some budget -> Check.Effect.over_budget ~budget (effect @ share @ cost @ lock)
               in
-              let findings = flow @ effect @ share @ cost @ ratchet in
-              if json then begin
-                let passes =
-                  [ ("flow", flow); ("effect", effect); ("share", share) ]
-                  @ (match cost_manifest with None -> [] | Some _ -> [ ("cost", cost) ])
-                  @ [ ("ratchet", ratchet) ]
-                in
-                let doc = Check.Finding.to_json_document passes in
-                match Obs.Export.validate_json doc with
-                | Error e ->
-                    Format.eprintf "analyze: JSON report failed validation: %s@." e;
-                    2
-                | Ok () ->
-                    print_string doc;
-                    if Check.Finding.errors findings = [] then 0 else 1
-              end
-              else
-                match findings with
-                | [] ->
-                    Format.printf "analyze: clean@.";
-                    0
-                | fs ->
-                    report_findings ~json:false fs;
-                    Format.printf "analyze: %d finding(s), %d error(s)@." (List.length fs)
-                      (List.length (Check.Finding.errors fs));
-                    if Check.Finding.errors fs = [] then 0 else 1))
+              let findings = flow @ effect @ share @ cost @ lock @ ratchet in
+              let sarif_status =
+                match sarif with
+                | None -> Ok ()
+                | Some file -> (
+                    let all_rules =
+                      Check.Flow.rules @ Check.Effect.rules @ Check.Share.rules @ Check.Cost.rules
+                      @ Check.Lock.rules
+                      @ [ ("budget-exceeded", "a warn-rule budget from check/budget.json exceeded") ]
+                    in
+                    let doc = Check.Finding.to_sarif ~rules:all_rules findings in
+                    match Obs.Export.validate_json doc with
+                    | Error e -> Error (Printf.sprintf "SARIF report failed validation: %s" e)
+                    | Ok () -> (
+                        try
+                          let oc = open_out file in
+                          output_string oc doc;
+                          close_out oc;
+                          Ok ()
+                        with Sys_error e -> Error e))
+              in
+              match sarif_status with
+              | Error e ->
+                  Format.eprintf "analyze: %s@." e;
+                  2
+              | Ok () -> (
+                  if json then begin
+                    let passes =
+                      [ ("flow", flow); ("effect", effect); ("share", share) ]
+                      @ (match cost_manifest with None -> [] | Some _ -> [ ("cost", cost) ])
+                      @ (match locks_manifest with None -> [] | Some _ -> [ ("lock", lock) ])
+                      @ [ ("ratchet", ratchet) ]
+                    in
+                    let doc = Check.Finding.to_json_document passes in
+                    match Obs.Export.validate_json doc with
+                    | Error e ->
+                        Format.eprintf "analyze: JSON report failed validation: %s@." e;
+                        2
+                    | Ok () ->
+                        print_string doc;
+                        if Check.Finding.errors findings = [] then 0 else 1
+                  end
+                  else
+                    match findings with
+                    | [] ->
+                        Format.printf "analyze: clean@.";
+                        0
+                    | fs ->
+                        report_findings ~json:false fs;
+                        Format.printf "analyze: %d finding(s), %d error(s)@." (List.length fs)
+                          (List.length (Check.Finding.errors fs));
+                        if Check.Finding.errors fs = [] then 0 else 1)))
     end
   in
   let doc =
     "Static analysis of the OCaml sources: numeric-safety dataflow (Check.Flow), \
      interprocedural effect inference over the call graph (Check.Callgraph, Check.Effect), the \
-     domain-safety shared-mutable-state audit (Check.Share) and the loop-cost and allocation \
-     analysis (Check.Cost)."
+     domain-safety shared-mutable-state audit (Check.Share), the loop-cost and allocation \
+     analysis (Check.Cost) and the lock-discipline audit (Check.Lock)."
   in
   Cmd.v
     (Cmd.info "analyze" ~doc)
     Term.(
-      const run $ dirs_arg $ entries_arg $ budget_arg $ parallel_arg $ cost_arg $ json_arg
-      $ rules_arg $ list_rules_arg)
+      const run $ dirs_arg $ entries_arg $ budget_arg $ parallel_arg $ cost_arg $ locks_arg
+      $ sarif_arg $ json_arg $ rules_arg $ list_rules_arg)
 
 (* ------------------------------- check ------------------------------ *)
 

@@ -246,6 +246,148 @@ let vals_of_mli ~library ~file text =
   attach decls
 
 (* ------------------------------------------------------------------ *)
+(* Spans, formal parameters, closure arguments                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Tokens that end an application span at their bracket level; the same
+   set Cost uses for its pending-iteration spans, so the two layers agree
+   on where an argument list stops. *)
+let span_stop_toks =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun t -> Hashtbl.replace tbl t ())
+    [ ";"; ","; "in"; "done"; "then"; "else"; "with"; "|"; "|>"; "let"; "and"; "end"; "do" ];
+  tbl
+
+let arg_span (body : S.tok array) i =
+  let n = Array.length body in
+  let level = ref 0 in
+  let j = ref (i + 1) in
+  let stop = ref false in
+  while (not !stop) && !j < n do
+    let t = body.(!j).S.t in
+    match t with
+    | "(" | "[" | "{" ->
+        incr level;
+        incr j
+    | ")" | "]" | "}" -> if !level = 0 then stop := true else (decr level; incr j)
+    | t when !level = 0 && Hashtbl.mem span_stop_toks t -> stop := true
+    | _ -> incr j
+  done;
+  !j
+
+let def_params (d : def) =
+  let body = d.d_body in
+  let n = Array.length body in
+  (* Skip the binding keyword, attributes, extension markers and [rec] to
+     land on the bound name, then collect header tokens up to the [=] at
+     bracket level 0. *)
+  let rec skip j =
+    if j >= n then j
+    else
+      let t = body.(j).S.t in
+      if is_attr t then skip (j + 1)
+      else if t = "%" then skip (j + 2)
+      else if t = "rec" then skip (j + 1)
+      else j
+  in
+  let start = skip 1 in
+  let params = ref [] in
+  let seen = Hashtbl.create 8 in
+  let level = ref 0 in
+  let j = ref (start + 1) in
+  let stop = ref false in
+  while (not !stop) && !j < n do
+    let t = body.(!j).S.t in
+    (match t with
+    | "(" | "[" | "{" -> incr level
+    | ")" | "]" | "}" -> decr level
+    | "=" when !level = 0 -> stop := true
+    | t when is_lower t && t <> "_" && not (String.contains t '.') ->
+        if not (Hashtbl.mem seen t) then begin
+          Hashtbl.replace seen t ();
+          params := t :: !params
+        end
+    | _ -> ());
+    incr j
+  done;
+  if !stop then List.rev !params else []
+
+(* Keywords that can follow an identifier without making it a function
+   head ([if p then ...] does not apply [p]). *)
+let application_keywords =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun t -> Hashtbl.replace tbl t ())
+    [ "then"; "else"; "in"; "do"; "done"; "with"; "when"; "and"; "begin"; "end"; "rec"; "fun";
+      "function"; "match"; "let"; "if"; "try"; "mod"; "land"; "lor"; "lxor"; "lsl"; "lsr"; "asr";
+      "or"; "not"; "as"; "of"; "to"; "downto"; "while"; "for" ];
+  tbl
+
+(* Tokens after which an expression (and hence a function application)
+   can start; [a b] with [a] in argument position is preceded by another
+   identifier, which is not in this set, so curried-argument runs do not
+   look like applications of their members. *)
+let expr_starters =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun t -> Hashtbl.replace tbl t ())
+    [ ";"; "="; "->"; "("; "["; "{"; "begin"; "in"; "then"; "else"; "@@"; "|>"; ","; "|"; ":" ];
+  tbl
+
+(* Whether the identifier token at [i] is syntactically applied: it heads
+   an application (an expression can start here and an argument follows),
+   or it is handed to a [*.protect]-style combinator as the final thunk
+   ([Fun.protect ~finally:(...) f]). *)
+let applied_at (d : def) i =
+  let body = d.d_body in
+  let n = Array.length body in
+  let protect_before i =
+    let lo = max 0 (i - 14) in
+    let rec look j =
+      j >= lo
+      &&
+      let t = body.(j).S.t in
+      let comp =
+        match String.rindex_opt t '.' with
+        | Some k -> String.sub t (k + 1) (String.length t - k - 1)
+        | None -> t
+      in
+      comp = "protect" || look (j - 1)
+    in
+    look (i - 1)
+  in
+  protect_before i
+  ||
+  let next_ok =
+    i + 1 < n
+    &&
+    let t = body.(i + 1).S.t in
+    t = "(" || t = "~" || t = "!"
+    || (t <> "" && t.[0] >= '0' && t.[0] <= '9')
+    || ((is_lower t || is_upper t) && not (Hashtbl.mem application_keywords t))
+  in
+  let prev_ok = i > 0 && Hashtbl.mem expr_starters body.(i - 1).S.t in
+  next_ok && prev_ok
+
+(* A def is higher-order through parameter [p] when some occurrence of [p]
+   in the body sits in application position ([let r = p x in ...]) or is
+   handed to a protect-style combinator. *)
+let applies_params (d : def) =
+  match def_params d with
+  | [] -> false
+  | params ->
+      let ptbl = Hashtbl.create 8 in
+      List.iter (fun p -> Hashtbl.replace ptbl p ()) params;
+      let body = d.d_body in
+      let n = Array.length body in
+      let applied = ref false in
+      for i = 1 to n - 1 do
+        if (not !applied) && Hashtbl.mem ptbl body.(i).S.t && applied_at d i then applied := true
+      done;
+      !applied
+
+(* ------------------------------------------------------------------ *)
 (* Graph assembly                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -375,6 +517,47 @@ let build_sources sources =
       callees.(d.d_id) <- List.sort Int.compare (Hashtbl.fold (fun k () acc -> k :: acc) seen []);
       sites.(d.d_id) <- List.rev sites.(d.d_id))
     defs;
+  (* One-step closure-argument resolution: a definition that applies one
+     of its formal parameters ([let locked t f = ... f () ...]) gains an
+     edge to every same-file definition passed to it as a bare identifier
+     argument, so witness chains no longer stop at the wrapper. Only the
+     wrapper's [callees] row is extended — [sites] keeps the caller's
+     lexical truth, which {!Cost} weights by loop depth. *)
+  let applies = Array.map applies_params defs in
+  let closure_edges = Hashtbl.create 32 in
+  Array.iter
+    (fun d ->
+      List.iter
+        (fun (i, c) ->
+          if applies.(c) then begin
+            let stop = arg_span d.d_body i in
+            let level = ref 0 in
+            for j = i + 1 to min (stop - 1) (Array.length d.d_body - 1) do
+              let t = d.d_body.(j).S.t in
+              match t with
+              | "(" | "[" | "{" -> incr level
+              | ")" | "]" | "}" -> decr level
+              | t
+                when !level = 0 && is_lower t && t <> "_" && not (String.contains t '.') -> (
+                  match Hashtbl.find_opt by_file (d.d_file ^ ":" ^ t) with
+                  | Some cands ->
+                      List.iter
+                        (fun id -> if id <> c then Hashtbl.replace closure_edges (c, id) ())
+                        cands
+                  | None -> ())
+              | _ -> ()
+            done
+          end)
+        sites.(d.d_id))
+    defs;
+  let extra = Array.make (Array.length defs) [] in
+  Hashtbl.iter (fun (c, id) () -> extra.(c) <- id :: extra.(c)) closure_edges;
+  Array.iteri
+    (fun c ids ->
+      if ids <> [] then
+        callees.(c) <-
+          List.sort_uniq Int.compare (List.rev_append ids callees.(c)))
+    extra;
   { defs; callees; sites; vals; files }
 
 (* ------------------------------------------------------------------ *)

@@ -99,3 +99,30 @@ val reachable : t -> roots:int list -> bool array
 val witness : t -> from:int -> target:(int -> bool) -> int list option
 (** Shortest call chain (as def ids, [from] first) from [from] to any
     definition satisfying [target]; [None] if unreachable. *)
+
+val arg_span : Srclint.tok array -> int -> int
+(** [arg_span body i] is the exclusive end of the application span that
+    starts after token [i]: the first index at or past [i+1] holding a
+    closing bracket or statement separator at bracket level 0 (relative
+    to [i]), or the array length. The span bounds the arguments of a call
+    whose head is token [i]; {!Lock} uses it for [Mutex.protect] bodies
+    and atomic-discipline checks. *)
+
+val def_params : def -> string list
+(** Formal parameter names of a definition: the lowercase undotted tokens
+    between the bound name and the first [=] at bracket level 0 of the
+    header, in order. Empty when no toplevel [=] is found (e.g. a
+    truncated body). Type names inside annotations may be over-collected;
+    callers only test membership. *)
+
+val applied_at : def -> int -> bool
+(** Whether the identifier token at the given body index is
+    syntactically applied: it heads an application (preceded by a token
+    an expression can start after, followed by an argument-start that is
+    not a keyword), or is passed bare to a [*.protect]-style combinator
+    as the final thunk. *)
+
+val applies_params : def -> bool
+(** Whether the definition syntactically applies one of its formal
+    parameters ({!applied_at} some occurrence) — i.e. it is a wrapper
+    whose closure arguments the graph resolves one step through. *)

@@ -51,6 +51,8 @@ let io_prims =
       "open_out_bin"; "input_line"; "output_string"; "output_char"; "read_line"; "Sys.readdir";
       "Sys.command"; "Sys.remove"; "Sys.rename" ]
 
+let is_io_prim t = Hashtbl.mem io_prims t
+
 let is_upper s = s <> "" && s.[0] >= 'A' && s.[0] <= 'Z'
 let is_number s = s <> "" && s.[0] >= '0' && s.[0] <= '9'
 let undotted s = not (String.contains s '.')

@@ -75,3 +75,7 @@ val parse_budget : string -> (string * int) list
 val over_budget : budget:(string * int) list -> Finding.t list -> Finding.t list
 (** Error-level [budget-exceeded] findings for every rule whose warn
     count exceeds its budget (rules absent from the budget allow 0). *)
+
+val is_io_prim : string -> bool
+(** Whether a token is one of the IO primitives the {b IO} effect tracks;
+    {!Lock} reuses the table to flag IO-effectful calls under a lock. *)

@@ -40,6 +40,41 @@ let to_json fs =
   in
   "[\n" ^ String.concat ",\n" (List.map obj fs) ^ "\n]\n"
 
+(* SARIF 2.1.0, the minimal static-analysis interchange subset: one run,
+   one driver, the rule table from [--list-rules], one result per
+   finding. [where] is "file:line" when a token anchored the finding and
+   a bare path otherwise; both map onto physicalLocation. *)
+let to_sarif ~rules fs =
+  let rule_json (id, desc) =
+    Printf.sprintf "{\"id\": \"%s\", \"shortDescription\": {\"text\": \"%s\"}}" (json_escape id)
+      (json_escape desc)
+  in
+  let split_where w =
+    match String.rindex_opt w ':' with
+    | Some i -> (
+        let tail = String.sub w (i + 1) (String.length w - i - 1) in
+        match int_of_string_opt tail with
+        | Some line when line > 0 -> (String.sub w 0 i, line)
+        | _ -> (w, 1))
+    | None -> (w, 1)
+  in
+  let result f =
+    let uri, line = split_where f.where in
+    Printf.sprintf
+      "{\"ruleId\": \"%s\", \"level\": \"%s\", \"message\": {\"text\": \"%s\"}, \"locations\": \
+       [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \"%s\"}, \"region\": \
+       {\"startLine\": %d}}}]}"
+      (json_escape f.rule)
+      (severity_to_string f.severity)
+      (json_escape f.message) (json_escape uri) line
+  in
+  Printf.sprintf
+    "{\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\", \"version\": \"2.1.0\", \
+     \"runs\": [{\"tool\": {\"driver\": {\"name\": \"respctl\", \"informationUri\": \
+     \"https://github.com/respctl\", \"rules\": [%s]}}, \"results\": [%s]}]}\n"
+    (String.concat ", " (List.map rule_json rules))
+    (String.concat ", " (List.map result fs))
+
 let to_json_document passes =
   let pass (name, fs) =
     Printf.sprintf "{\"pass\": \"%s\", \"findings\": %s}" (json_escape name)

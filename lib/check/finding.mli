@@ -36,3 +36,11 @@ val to_json_document : (string * t list) list -> string
     {!to_json} findings array) and top-level [errors]/[warnings]
     counts, so [respctl analyze --json] emits a single document rather
     than concatenated per-pass blobs. *)
+
+val to_sarif : rules:(string * string) list -> t list -> string
+(** SARIF 2.1.0 document for editor/CI ingestion: one run whose driver
+    carries the [(id, description)] rule table (the same ids
+    [--list-rules] prints) and one result per finding, with [Warn]
+    mapped to level ["warning"] and [Error] to ["error"]. The [where]
+    field's trailing [:line] becomes the region start line; a bare path
+    anchors at line 1. *)

@@ -59,8 +59,14 @@ module Counter = struct
     if Control.enabled () then begin
       if not (x >= 0.0) then invalid_arg "Obs.Metric.Counter.add: negative or NaN increment";
       let cell = cell c in
-      (* Only the owning domain writes its cell, so load+store is safe. *)
-      Atomic.set cell (Atomic.get cell +. x)
+      (* The owning domain is the only writer, so the CAS succeeds on the
+         first try; spelling it as a retry loop keeps the cell correct
+         even if a cell ever gains a second writer. *)
+      let rec bump () =
+        let cur = Atomic.get cell in
+        if not (Atomic.compare_and_set cell cur (cur +. x)) then bump ()
+      in
+      bump ()
     end
 
   let add_int c n = add c (float_of_int n)

@@ -184,6 +184,9 @@ let compact t records =
       if not (journalable r) then
         invalid_arg "Serve.Journal.compact: only demand_update/link_event records are journaled")
     records;
+  (* Encode outside the lock, as [append] does: only the file IO and the
+     fd swap need serialising, not the wire encoding of every record. *)
+  let payload = List.map (fun r -> encode_record (Wire.encode_request r)) records in
   let tmp = t.jpath ^ ".tmp" in
   Mutex.lock t.lock;
   let result =
@@ -196,7 +199,7 @@ let compact t records =
             io_error "compact open" err
         | tfd -> (
             match
-              List.iter (fun r -> write_all tfd (encode_record (Wire.encode_request r))) records;
+              List.iter (fun record -> write_all tfd record) payload;
               if t.fsync then Unix.fsync tfd;
               Unix.close tfd;
               Unix.rename tmp t.jpath;

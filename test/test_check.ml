@@ -1018,6 +1018,282 @@ let test_doc_rules_catalogue () =
     [ "raise-malformed"; "doc-unknown-tag"; "doc-unterminated" ]
     (List.map fst Check.Doc.rules)
 
+(* ------------------------------- lock -------------------------------- *)
+
+module Lk = Check.Lock
+
+let lock_findings ?manifest sources = Lk.analyze ?manifest (Cg.build_sources sources)
+
+(* Closure-argument resolution (Callgraph): a wrapper that applies its
+   formal parameter gains call edges to bare-identifier arguments passed
+   at its call sites, so reachability sees through [run task]. *)
+let test_cg_closure_args () =
+  let g =
+    Cg.build_sources
+      [
+        src ~lib:"alib" "alib/w.ml"
+          "let run f = f ()\n\nlet task () = print_endline \"t\"\n\nlet go () = run task\n";
+      ]
+  in
+  let id n = (Option.get (Cg.find_def g ~module_:"W" ~name:n)).Cg.d_id in
+  let run_def = Option.get (Cg.find_def g ~module_:"W" ~name:"run") in
+  let go_def = Option.get (Cg.find_def g ~module_:"W" ~name:"go") in
+  Alcotest.(check (list string)) "run's params" [ "f" ] (Cg.def_params run_def);
+  Alcotest.(check bool) "run applies its param" true (Cg.applies_params run_def);
+  Alcotest.(check bool) "go applies nothing" false (Cg.applies_params go_def);
+  Alcotest.(check bool) "wrapper gains the closure callee" true
+    (List.mem (id "task") g.Cg.callees.(id "run"))
+
+let test_cg_arg_span () =
+  let g =
+    Cg.build_sources
+      [
+        src ~lib:"alib" "alib/sp.ml"
+          "let other () = 1\n\nlet go () = run ( task 1 ) ; other ()\n";
+      ]
+  in
+  let d = Option.get (Cg.find_def g ~module_:"Sp" ~name:"go") in
+  let body = d.Cg.d_body in
+  let idx t =
+    let r = ref (-1) in
+    Array.iteri (fun i tk -> if !r < 0 && tk.Lint.t = t then r := i) body;
+    Alcotest.(check bool) ("token " ^ t ^ " present") true (!r >= 0);
+    !r
+  in
+  (* The application span of [run] swallows the parenthesised argument and
+     stops at the statement separator. *)
+  Alcotest.(check int) "span ends at the semicolon" (idx ";") (Cg.arg_span body (idx "run"))
+
+(* Lock harvest: one identity per [NAME = Mutex.create] binding, named
+   by the enclosing module. *)
+let test_lock_harvest () =
+  let g =
+    Cg.build_sources
+      [
+        src ~lib:"alib" "alib/st.ml"
+          "let lock = Mutex.create ()\nlet s = ref 0\n\n\
+           let set v = Mutex.lock lock; s := v; Mutex.unlock lock\n";
+        src ~lib:"alib" "alib/rec.ml"
+          "type t = { m : Mutex.t }\n\nlet make () = { m = Mutex.create () }\n\n\
+           let with_m t f = Mutex.lock t.m; let r = f () in Mutex.unlock t.m; r\n";
+      ]
+  in
+  let names = List.map (fun (n, _, _) -> n) (Lk.locks g) |> List.sort String.compare in
+  Alcotest.(check (list string)) "harvested identities" [ "Rec.m"; "St.lock" ] names
+
+let test_lock_rules_catalogue () =
+  Alcotest.(check (list string)) "rule ids"
+    [
+      "lock-order-cycle"; "blocking-under-lock"; "lock-held-io"; "atomic-rmw"; "useless-lock";
+      "lock-manifest";
+    ]
+    (List.map fst Lk.rules)
+
+(* Two-lock AB/BA inversion: the classic deadlock, reported once with a
+   two-chain witness naming both locks. *)
+let test_lock_cycle_ab_ba () =
+  let bad =
+    "let a = Mutex.create ()\nlet b = Mutex.create ()\nlet x = ref 0\n\n\
+     let f () = Mutex.lock a; Mutex.lock b; x := 1; Mutex.unlock b; Mutex.unlock a\n\n\
+     let g () = Mutex.lock b; Mutex.lock a; x := 2; Mutex.unlock a; Mutex.unlock b\n"
+  in
+  let fs = lock_findings [ src ~lib:"alib" "alib/ord.ml" bad ] in
+  Alcotest.(check (list string)) "only the cycle fires" [ "lock-order-cycle" ] (rule_ids fs);
+  (match List.find_opt (fun f -> f.F.rule = "lock-order-cycle") fs with
+  | Some f ->
+      Alcotest.(check bool) "names both locks" true
+        (contains_sub f.F.message "Ord.a" && contains_sub f.F.message "Ord.b")
+  | None -> Alcotest.fail "no cycle finding");
+  (* Same program, consistent a-then-b order everywhere: clean. *)
+  let good =
+    "let a = Mutex.create ()\nlet b = Mutex.create ()\nlet x = ref 0\n\n\
+     let f () = Mutex.lock a; Mutex.lock b; x := 1; Mutex.unlock b; Mutex.unlock a\n\n\
+     let g () = Mutex.lock a; Mutex.lock b; x := 2; Mutex.unlock b; Mutex.unlock a\n"
+  in
+  Alcotest.(check (list string)) "consistent order is clean" []
+    (rule_ids (lock_findings [ src ~lib:"alib" "alib/ord.ml" good ]))
+
+(* Three-lock cycle closed through a helper call: the c->a edge only
+   exists interprocedurally (h holds c and calls a function that may
+   acquire a). All three pairs are mutually reachable. *)
+let test_lock_cycle_through_helper () =
+  let fs =
+    lock_findings
+      [
+        src ~lib:"alib" "alib/tri.ml"
+          "let a = Mutex.create ()\nlet b = Mutex.create ()\nlet c = Mutex.create ()\n\
+           let x = ref 0\n\n\
+           let locks_a () = Mutex.lock a; x := 1; Mutex.unlock a\n\n\
+           let f () = Mutex.lock a; Mutex.lock b; x := 1; Mutex.unlock b; Mutex.unlock a\n\n\
+           let g () = Mutex.lock b; Mutex.lock c; x := 1; Mutex.unlock c; Mutex.unlock b\n\n\
+           let h () = Mutex.lock c; locks_a (); Mutex.unlock c\n";
+      ]
+  in
+  Alcotest.(check (list string)) "only cycles fire" [ "lock-order-cycle" ] (rule_ids fs);
+  Alcotest.(check int) "all three pairs reported" 3 (List.length fs)
+
+(* Mutex.protect nesting: inverted nesting is a cycle; two sequential
+   protects of the same mutex (the refactor that replaces lock/unlock
+   pairs) must NOT read as a re-acquire. *)
+let test_lock_protect_nesting () =
+  let bad =
+    "let a = Mutex.create ()\nlet b = Mutex.create ()\nlet x = ref 0\n\n\
+     let f () = Mutex.protect a (fun () -> Mutex.protect b (fun () -> x := 1))\n\n\
+     let g () = Mutex.protect b (fun () -> Mutex.protect a (fun () -> x := 2))\n"
+  in
+  Alcotest.(check (list string)) "inverted protect nesting cycles" [ "lock-order-cycle" ]
+    (rule_ids (lock_findings [ src ~lib:"alib" "alib/pn.ml" bad ]));
+  let sequential =
+    "let a = Mutex.create ()\nlet x = ref 0\nlet y = ref 0\n\n\
+     let f () =\n  Mutex.protect a (fun () -> x := 1);\n  Mutex.protect a (fun () -> y := 2)\n"
+  in
+  Alcotest.(check (list string)) "sequential protects of one mutex are clean" []
+    (rule_ids (lock_findings [ src ~lib:"alib" "alib/pn.ml" sequential ]))
+
+(* OCaml mutexes are not reentrant: a re-acquire while held is reported
+   as a direct deadlock. *)
+let test_lock_self_reacquire () =
+  let fs =
+    lock_findings
+      [
+        src ~lib:"alib" "alib/re.ml"
+          "let a = Mutex.create ()\nlet x = ref 0\n\n\
+           let f () = Mutex.lock a; Mutex.lock a; x := 1; Mutex.unlock a; Mutex.unlock a\n";
+      ]
+  in
+  Alcotest.(check (list string)) "re-acquire fires" [ "lock-order-cycle" ] (rule_ids fs);
+  match fs with
+  | [ f ] -> Alcotest.(check bool) "says re-acquires" true (contains_sub f.F.message "re-acquires")
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+let blocking_src =
+  "let jl = Mutex.create ()\n\n\
+   let flush fd = Mutex.lock jl; Unix.fsync fd; Mutex.unlock jl\n"
+
+(* Blocking primitive under a lock: warn by default, silenced by an
+   io_locks manifest entry, escalated to an error on the hot path. *)
+let test_lock_blocking_under_lock () =
+  let fs = lock_findings [ src ~lib:"serveix" "serveix/jm.ml" blocking_src ] in
+  (match fs with
+  | [ f ] ->
+      Alcotest.(check string) "rule" "blocking-under-lock" f.F.rule;
+      Alcotest.(check bool) "warn severity" true (f.F.severity = F.Warn);
+      Alcotest.(check bool) "names the primitive and the lock" true
+        (contains_sub f.F.message "Unix.fsync" && contains_sub f.F.message "Jm.jl")
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 finding, got %d" (List.length fs)));
+  Alcotest.(check (list string)) "io_locks exemption silences it" []
+    (rule_ids
+       (lock_findings
+          ~manifest:[ ("io_locks", [ "Jm.jl" ]) ]
+          [ src ~lib:"serveix" "serveix/jm.ml" blocking_src ]))
+
+let test_lock_held_io_hot () =
+  let fs =
+    lock_findings
+      ~manifest:[ ("hot", [ "Jm.flush" ]) ]
+      [ src ~lib:"serveix" "serveix/jm.ml" blocking_src ]
+  in
+  match fs with
+  | [ f ] ->
+      Alcotest.(check string) "escalated rule" "lock-held-io" f.F.rule;
+      Alcotest.(check bool) "error severity" true (f.F.severity = F.Error)
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 finding, got %d" (List.length fs))
+
+(* Blocking reached through a wrapper: the lock is held by [locked],
+   the sleep lives in the caller's inline closure. The wrapper summary
+   replays the lock over the argument span. *)
+let test_lock_blocking_via_wrapper () =
+  let fs =
+    lock_findings
+      [
+        src ~lib:"alib" "alib/wr.ml"
+          "let m = Mutex.create ()\nlet s = ref 0\n\n\
+           let locked f = Mutex.lock m; s := 1; let r = f () in Mutex.unlock m; r\n\n\
+           let bad () = locked (fun () -> Unix.sleep 1)\n";
+      ]
+  in
+  Alcotest.(check bool) "closure body scanned under the wrapper's lock" true
+    (F.has_rule "blocking-under-lock" fs);
+  Alcotest.(check bool) "no spurious cycle" false (F.has_rule "lock-order-cycle" fs)
+
+(* Atomic read-modify-write discipline. *)
+let test_lock_atomic_rmw () =
+  let fires txt =
+    F.has_rule "atomic-rmw" (lock_findings [ src ~lib:"alib" "alib/at.ml" txt ])
+  in
+  Alcotest.(check bool) "inline get-then-set fires" true
+    (fires "let c = Atomic.make 0\n\nlet bump () = Atomic.set c (Atomic.get c + 1)\n");
+  Alcotest.(check bool) "get-through-binder fires" true
+    (fires
+       "let c = Atomic.make 0\n\n\
+        let bump () =\n  let cur = Atomic.get c in\n  Atomic.set c (cur + 1)\n");
+  Alcotest.(check bool) "CAS retry loop is clean" false
+    (fires
+       "let c = Atomic.make 0\n\n\
+        let rec bump () =\n  let cur = Atomic.get c in\n\
+       \  if not (Atomic.compare_and_set c cur (cur + 1)) then bump ()\n");
+  Alcotest.(check bool) "serialised under a lock is clean" false
+    (fires
+       "let m = Mutex.create ()\nlet c = Atomic.make 0\n\n\
+        let bump () = Mutex.lock m; Atomic.set c (Atomic.get c + 1); Mutex.unlock m\n");
+  Alcotest.(check bool) "Fun.protect save/restore is clean" false
+    (fires
+       "let c = Atomic.make 0\n\n\
+        let with_saved f =\n  let saved = Atomic.get c in\n\
+       \  Fun.protect ~finally:(fun () -> Atomic.set c saved) f\n")
+
+(* A lock that guards nothing, and one that is never taken. *)
+let test_lock_useless () =
+  let fs =
+    lock_findings
+      [
+        src ~lib:"alib" "alib/ul.ml"
+          "let u = Mutex.create ()\n\nlet nothing () = Mutex.lock u; Mutex.unlock u\n";
+      ]
+  in
+  (match fs with
+  | [ f ] ->
+      Alcotest.(check string) "rule" "useless-lock" f.F.rule;
+      Alcotest.(check bool) "guards nothing" true (contains_sub f.F.message "guard nothing")
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 finding, got %d" (List.length fs)));
+  let fs =
+    lock_findings
+      [ src ~lib:"alib" "alib/ul.ml" "let never = Mutex.create ()\nlet live () = 1\n" ]
+  in
+  (match fs with
+  | [ f ] -> Alcotest.(check bool) "never acquired" true (contains_sub f.F.message "never acquired")
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 finding, got %d" (List.length fs)));
+  Alcotest.(check (list string)) "a guarded mutation is clean" []
+    (rule_ids
+       (lock_findings
+          [
+            src ~lib:"alib" "alib/ul.ml"
+              "let m = Mutex.create ()\nlet s = ref 0\n\n\
+               let set v = Mutex.lock m; s := v; Mutex.unlock m\n";
+          ]))
+
+(* Manifest validation: unknown keys, dangling lock and entrypoint
+   names, and a certified-surface lock missing from the order. *)
+let test_lock_manifest_errors () =
+  let one_lock =
+    src ~lib:"alib" "alib/mf.ml"
+      "let m = Mutex.create ()\nlet s = ref 0\n\nlet set v = Mutex.lock m; s := v; Mutex.unlock m\n"
+  in
+  let err manifest needle =
+    let fs = lock_findings ~manifest [ one_lock ] in
+    match List.find_opt (fun f -> f.F.rule = "lock-manifest") fs with
+    | Some f -> Alcotest.(check bool) ("mentions " ^ needle) true (contains_sub f.F.message needle)
+    | None -> Alcotest.fail ("no lock-manifest finding for " ^ needle)
+  in
+  err [ ("bogus", []) ] "unknown manifest key";
+  err [ ("order", [ "Nope.x" ]) ] "does not name a known mutex";
+  err [ ("hot", [ "Nope.f" ]) ] "does not resolve";
+  err [ ("surface", [ "Mf" ]) ] "missing from the declared \"order\"";
+  (* A surface lock that IS in the order passes. *)
+  Alcotest.(check (list string)) "surface covered by order is clean" []
+    (rule_ids
+       (lock_findings ~manifest:[ ("order", [ "Mf.m" ]); ("surface", [ "Mf" ]) ] [ one_lock ]))
+
 let () =
   Alcotest.run "check"
     [
@@ -1070,6 +1346,8 @@ let () =
           Alcotest.test_case "submodule and alias" `Quick test_cg_submodule_and_alias;
           Alcotest.test_case "@raise doc harvest" `Quick test_cg_raise_doc;
           Alcotest.test_case "attributed defs" `Quick test_cg_attributed_defs;
+          Alcotest.test_case "closure arguments" `Quick test_cg_closure_args;
+          Alcotest.test_case "argument spans" `Quick test_cg_arg_span;
         ] );
       ( "effect",
         [
@@ -1111,6 +1389,21 @@ let () =
           Alcotest.test_case "cost-manifest" `Quick test_cost_manifest_rule;
           Alcotest.test_case "infer propagation" `Quick test_cost_infer_propagation;
           Alcotest.test_case "rules catalogue" `Quick test_cost_rules_catalogue;
+        ] );
+      ( "lock",
+        [
+          Alcotest.test_case "harvest" `Quick test_lock_harvest;
+          Alcotest.test_case "rules catalogue" `Quick test_lock_rules_catalogue;
+          Alcotest.test_case "ab/ba cycle" `Quick test_lock_cycle_ab_ba;
+          Alcotest.test_case "cycle through helper" `Quick test_lock_cycle_through_helper;
+          Alcotest.test_case "protect nesting" `Quick test_lock_protect_nesting;
+          Alcotest.test_case "self re-acquire" `Quick test_lock_self_reacquire;
+          Alcotest.test_case "blocking-under-lock" `Quick test_lock_blocking_under_lock;
+          Alcotest.test_case "lock-held-io on hot path" `Quick test_lock_held_io_hot;
+          Alcotest.test_case "blocking via wrapper" `Quick test_lock_blocking_via_wrapper;
+          Alcotest.test_case "atomic-rmw" `Quick test_lock_atomic_rmw;
+          Alcotest.test_case "useless-lock" `Quick test_lock_useless;
+          Alcotest.test_case "manifest errors" `Quick test_lock_manifest_errors;
         ] );
       ( "doc",
         [

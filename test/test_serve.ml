@@ -376,6 +376,55 @@ let test_loopback_session () =
               | Ok body -> Alcotest.(check bool) "scrape non-empty" true (String.length body > 0)
               | Error e -> Alcotest.failf "scrape: %s" e))
 
+(* Shutdown-path regression (the exit sequence `respctld --smoke` ends
+   with): [stop] joins the accepter and the worker pool without
+   deadlocking even while a client connection is live, is idempotent,
+   and really tears the plane down — a bounded fresh connect is refused
+   and a call on the drained connection errors instead of hanging. *)
+let test_shutdown_path () =
+  Obs.set_enabled true;
+  let g = Topo.Geant.make () in
+  let power = Power.Model.cisco12000 g in
+  let pairs = Traffic.Gravity.random_node_pairs g ~seed:11 ~fraction:0.3 in
+  let demand = Traffic.Gravity.make g ~pairs ~total:(Eutil.Units.gbps 2.0) () in
+  let state = Serve.State.create g power ~pairs ~demand in
+  let server =
+    Serve.Server.start
+      ~config:{ Serve.Server.default_config with port = 0; http_port = 0; workers = 2 }
+      state
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.stop server;
+      Serve.State.stop state;
+      Obs.set_enabled false)
+    (fun () ->
+      let port = Serve.Server.port server in
+      let origin, dest = List.hd pairs in
+      match Serve.Client.connect ~port () with
+      | Error e -> Alcotest.failf "connect: %s" e
+      | Ok client ->
+          Fun.protect
+            ~finally:(fun () -> Serve.Client.close client)
+            (fun () ->
+              (match call_ok client (W.Path_query { origin; dest }) with
+              | W.Path_reply _ -> ()
+              | _ -> Alcotest.fail "warm-up query not answered");
+              (* Stop with the connection still open: must return, and a
+                 second stop must be a no-op rather than a second join. *)
+              Serve.Server.stop server;
+              Serve.Server.stop server;
+              Alcotest.(check bool) "served at least the warm-up" true
+                (Serve.Server.served server >= 1);
+              (match Serve.Client.connect ~timeout_s:0.5 ~port () with
+              | Ok c2 ->
+                  Serve.Client.close c2;
+                  Alcotest.fail "post-stop connect accepted"
+              | Error _ -> ());
+              match Serve.Client.call ~timeout_s:1.0 client (W.Path_query { origin; dest }) with
+              | Ok _ -> Alcotest.fail "call after shutdown answered"
+              | Error _ -> ()))
+
 (* -------------------------- mutated goldens -------------------------- *)
 
 (* Totality under realistic damage: flip a byte and/or chop the tail of
@@ -964,7 +1013,11 @@ let () =
         ] );
       ( "export",
         [ Alcotest.test_case "prometheus page identity" `Quick test_prometheus_page_identity ] );
-      ("loopback", [ Alcotest.test_case "session" `Quick test_loopback_session ]);
+      ( "loopback",
+        [
+          Alcotest.test_case "session" `Quick test_loopback_session;
+          Alcotest.test_case "shutdown path" `Quick test_shutdown_path;
+        ] );
       ( "resilience",
         [
           Alcotest.test_case "shedding and recovery" `Quick test_server_shedding;
